@@ -1,0 +1,102 @@
+// E7+E8 — Theorems 1.5, 2.5, 2.6 (Figures 2 and 3): verified gadget tables.
+//
+// Each row checks, computationally, the premises of Observation 2.4 and
+// prints the implied round lower bound: chromatic number (exact solver on
+// small instances, closed formula / structure for large), ball
+// isomorphism / planarity, and surface certificates (genus via face
+// tracing of explicit rotation systems).
+#include <iostream>
+
+#include "scol/scol.h"
+
+using namespace scol;
+
+int main() {
+  std::cout << "E7 / Theorem 1.5 + Figure 3: no o(n)-round 4-coloring of "
+               "planar graphs\n"
+               "gadget: C_n(1,2,3) — 6-regular toroidal triangulation, chi=5 "
+               "(n % 4 != 0), planar balls\n\n";
+  {
+    Table t({"n", "chi formula", "chi exact", "genus", "triangulation",
+             "planar balls to r", "=> 4-coloring needs > rounds"});
+    for (Vertex n : {13, 17, 21, 25}) {
+      const Theorem15Report rep = verify_theorem15_gadget(n, true);
+      t.row(rep.n, rep.chi_formula, rep.chi_exact, rep.toroidal ? 1 : -1,
+            rep.triangulation ? "yes" : "NO", rep.ball_radius_checked,
+            rep.implied_round_lower_bound);
+    }
+    for (Vertex n : {61, 121, 241, 481}) {
+      const Theorem15Report rep = verify_theorem15_gadget(n, false);
+      t.row(rep.n, rep.chi_formula, "-", rep.toroidal ? 1 : -1,
+            rep.triangulation ? "yes" : "NO", rep.ball_radius_checked,
+            rep.implied_round_lower_bound);
+    }
+    t.print();
+    std::cout << "\nlower bound grows linearly in n => Omega(n) rounds "
+                 "(Theorem 1.5).\n\n";
+  }
+
+  std::cout << "E8 / Theorem 2.6 + Figure 2 (left): 3-coloring the k x k "
+               "grid needs >= k/2 rounds\n"
+               "gadget: Klein-bottle quadrangulation G_{2k+1,2l+1}, chi=4, "
+               "grid-isomorphic balls\n\n";
+  {
+    Table t({"k x l", "chi exact", "bipartite", "balls=grid balls to r",
+             "=> 3-coloring needs > rounds"});
+    for (auto [k, l] :
+         {std::pair<Vertex, Vertex>{5, 5}, {5, 7}, {7, 7}, {9, 9}}) {
+      const KleinGridReport rep =
+          verify_klein_gadget(k, l, /*iso_radius=*/3, k * l <= 49);
+      t.row(std::to_string(k) + "x" + std::to_string(l),
+            rep.chi_exact >= 0 ? std::to_string(rep.chi_exact) : "-",
+            rep.bipartite ? "YES" : "no", rep.ball_radius_checked,
+            rep.implied_round_lower_bound);
+    }
+    for (Vertex k : {13, 17, 21}) {
+      const KleinGridReport rep =
+          verify_klein_gadget(k, k, /*iso_radius=*/k / 2 - 1, false);
+      t.row(std::to_string(k) + "x" + std::to_string(k), "-",
+            rep.bipartite ? "YES" : "no", rep.ball_radius_checked,
+            rep.implied_round_lower_bound);
+    }
+    t.print();
+    std::cout << "\nradius scales with k = Theta(sqrt(n)) => Omega(sqrt(n)) "
+                 "rounds for planar bipartite 3-coloring (Theorem 2.6);\n"
+                 "the planar grid itself is 2-chromatic (chi = "
+              << chromatic_number(grid(6, 6)) << ").\n\n";
+  }
+
+  std::cout << "E8 / Theorem 2.5 + Figure 2 (right): 3-coloring triangle-"
+               "free planar graphs needs Omega(n) rounds\n"
+               "gadget: G_{5,2l+1} vs planar triangle-free cylinder C5 x P\n\n";
+  {
+    Table t({"l", "chi exact", "cyl planar", "cyl triangle-free",
+             "balls match to r", "=> 3-coloring needs > rounds"});
+    for (Vertex l : {7, 9, 11, 15, 21}) {
+      const TriangleFreeReport rep =
+          verify_triangle_free_gadget(l, /*iso_radius=*/l / 2 - 1, l <= 9);
+      t.row(rep.l,
+            rep.chi_exact >= 0 ? std::to_string(rep.chi_exact) : "-",
+            rep.cylinder_planar ? "yes" : "NO",
+            rep.cylinder_triangle_free ? "yes" : "NO",
+            rep.ball_radius_checked, rep.implied_round_lower_bound);
+    }
+    t.print();
+    std::cout << "\nhere n = 5(2l+1): the verified radius grows linearly in "
+                 "l => Omega(n) (Theorem 2.5).\nGrotzsch contrast: "
+                 "triangle-free planar graphs are 3-colorable sequentially, "
+                 "\nbut 4 colors (Cor. 2.3(2)) is the polylog-round "
+                 "optimum.\n\n";
+  }
+
+  std::cout << "Boundary of the Theorem 1.5 construction (n % 4 == 0 is "
+               "4-chromatic):\n";
+  {
+    Table t({"n", "n % 4", "chi exact"});
+    for (Vertex n : {12, 13, 14, 15, 16, 17, 18, 19, 20}) {
+      t.row(n, n % 4, chromatic_number(cycle_power(n, 3)));
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// P — wall-clock microbenchmarks (google-benchmark): substrate primitives
+// and end-to-end colorings. These are engineering numbers (simulation
+// throughput), not LOCAL rounds.
+#include <benchmark/benchmark.h>
+
+#include "scol/scol.h"
+
+namespace {
+
+using namespace scol;
+
+Graph make_regular(Vertex n, Vertex d) {
+  Rng rng(12345);
+  return random_regular(n, d, rng);
+}
+
+void BM_BfsBall(benchmark::State& state) {
+  const Graph g = make_regular(static_cast<Vertex>(state.range(0)), 4);
+  Vertex v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ball(g, v, 6));
+    v = (v + 17) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_BfsBall)->Arg(1024)->Arg(8192);
+
+void BM_BlockDecomposition(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = gnm(static_cast<Vertex>(state.range(0)),
+                      2 * state.range(0), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(block_decomposition(g));
+}
+BENCHMARK(BM_BlockDecomposition)->Arg(1024)->Arg(8192);
+
+void BM_GallaiRecognition(benchmark::State& state) {
+  Rng rng(9);
+  const Graph g = random_gallai_tree(static_cast<Vertex>(state.range(0)), 5, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(is_gallai_tree(g));
+}
+BENCHMARK(BM_GallaiRecognition)->Arg(200)->Arg(2000);
+
+void BM_ExactMad(benchmark::State& state) {
+  Rng rng(11);
+  const Graph g = gnm(static_cast<Vertex>(state.range(0)),
+                      2 * state.range(0), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(maximum_average_degree(g));
+}
+BENCHMARK(BM_ExactMad)->Arg(256)->Arg(1024);
+
+void BM_Planarity(benchmark::State& state) {
+  Rng rng(13);
+  const Graph g = random_stacked_triangulation(
+      static_cast<Vertex>(state.range(0)), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(is_planar(g));
+}
+BENCHMARK(BM_Planarity)->Arg(256)->Arg(1024);
+
+void BM_HappySet(benchmark::State& state) {
+  const Graph g = make_regular(static_cast<Vertex>(state.range(0)), 4);
+  const Vertex rho = paper_ball_radius(g.num_vertices());
+  for (auto _ : state) benchmark::DoNotOptimize(compute_happy_set(g, 4, rho));
+}
+BENCHMARK(BM_HappySet)->Arg(1024)->Arg(8192);
+
+void BM_RulingForest(benchmark::State& state) {
+  const Graph g = make_regular(static_cast<Vertex>(state.range(0)), 4);
+  std::vector<char> u(static_cast<std::size_t>(g.num_vertices()), 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ruling_forest(g, u, 8, nullptr));
+}
+BENCHMARK(BM_RulingForest)->Arg(1024)->Arg(8192);
+
+void BM_DistributedDPlus1(benchmark::State& state) {
+  const Graph g = make_regular(static_cast<Vertex>(state.range(0)), 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(distributed_degree_coloring(g, 4));
+}
+BENCHMARK(BM_DistributedDPlus1)->Arg(1024)->Arg(8192);
+
+void BM_EndToEndSixColorPlanar(benchmark::State& state) {
+  Rng rng(17);
+  const Graph g = random_stacked_triangulation(
+      static_cast<Vertex>(state.range(0)), rng);
+  const ListAssignment lists = uniform_lists(g.num_vertices(), 6);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(planar_six_list_coloring(g, lists));
+}
+BENCHMARK(BM_EndToEndSixColorPlanar)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndRegular(benchmark::State& state) {
+  const Graph g = make_regular(static_cast<Vertex>(state.range(0)), 4);
+  const ListAssignment lists = uniform_lists(g.num_vertices(), 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(list_color_sparse(g, 4, lists));
+}
+BENCHMARK(BM_EndToEndRegular)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_GpsPlanar(benchmark::State& state) {
+  Rng rng(19);
+  const Graph g = random_stacked_triangulation(
+      static_cast<Vertex>(state.range(0)), rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gps_planar_seven_coloring(g));
+}
+BENCHMARK(BM_GpsPlanar)->Arg(1024)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// E3 — Corollary 2.3(1) vs Goldberg–Plotkin–Shannon [17].
+//
+// Paper claims: planar graphs get 6-list-colorings in O(log^3 n) rounds;
+// GPS gets 7 colors in O(log n) rounds. Shape to reproduce: ours always
+// uses <= 6 colors (one fewer than GPS's palette), at a polylog — but
+// larger — round count; GPS rounds grow ~log n.
+#include <cmath>
+#include <iostream>
+
+#include "scol/scol.h"
+
+using namespace scol;
+
+int main() {
+  std::cout << "E3 / Corollary 2.3(1): planar 6-list-coloring vs GPS "
+               "7-coloring vs sequential greedy\n\n";
+
+  Table t({"family", "n", "greedy colors", "GPS colors", "GPS rounds",
+           "GPS rounds/log2(n)", "ours colors", "ours rounds",
+           "ours rounds/log2^3(n)"});
+
+  Rng rng(20260612);
+  const auto run = [&](const char* family, const Graph& g) {
+    const double l = std::log2(static_cast<double>(g.num_vertices()));
+    const Coloring greedy = degeneracy_coloring(g);
+    const PeelColoringResult gps = gps_planar_seven_coloring(g);
+    const ListAssignment lists = uniform_lists(g.num_vertices(), 6);
+    const SparseResult ours = planar_six_list_coloring(g, lists);
+    expect_proper(g, greedy);
+    expect_proper_with_at_most(g, gps.coloring, 7);
+    expect_proper_list_coloring(g, *ours.coloring, lists);
+    t.row(family, g.num_vertices(), count_colors(greedy),
+          count_colors(gps.coloring), gps.ledger.total(),
+          static_cast<double>(gps.ledger.total()) / l,
+          count_colors(*ours.coloring), ours.ledger.total(),
+          static_cast<double>(ours.ledger.total()) / (l * l * l));
+  };
+
+  for (Vertex n : {256, 512, 1024, 2048, 4096}) {
+    run("stacked-triangulation", random_stacked_triangulation(n, rng));
+  }
+  for (Vertex s : {16, 24, 32, 48}) {
+    run("grid+diagonals", grid_random_diagonals(s, s, rng));
+  }
+  for (Vertex s : {20, 32, 48, 64}) {
+    run("grid", grid(s, s));
+  }
+  t.print();
+
+  std::cout
+      << "\nShape check: ours <= 6 colors on every row (GPS's palette is 7;\n"
+         "on easy instances both may use fewer). GPS's normalized rounds\n"
+         "stay ~constant (O(log n)); ours' rounds/log^3 n stay bounded —\n"
+         "the paper's trade: one fewer color for two more log factors.\n"
+         "With genuine per-vertex lists GPS does not apply at all; ours "
+         "does.\n";
+  return 0;
+}

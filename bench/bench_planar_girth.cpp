@@ -1,0 +1,56 @@
+// E4 — Corollary 2.3(2)(3) + Proposition 2.2.
+//
+// Triangle-free planar graphs: 4-list-colorings; girth >= 6 planar: 3-list-
+// colorings, both O(log^3 n) rounds. Prop 2.2 supplies the mad < 2g/(g-2)
+// premises, which we verify exactly (flow-based mad) per instance.
+#include <iostream>
+
+#include "scol/scol.h"
+
+using namespace scol;
+
+int main() {
+  std::cout << "E4 / Corollary 2.3(2,3) + Prop 2.2: girth-restricted planar "
+               "coloring\n\n";
+
+  Table t({"family", "n", "girth", "mad(exact)", "Prop2.2 bound", "d",
+           "colors", "rounds", "chi(exact small)"});
+
+  Rng rng(20260613);
+  const auto run = [&](const char* family, const Graph& g, Vertex girth_lb,
+                       Vertex d) {
+    const DensestSubgraph mad = maximum_average_degree(g);
+    const Vertex gi = girth(g);
+    const ListAssignment lists =
+        uniform_lists(g.num_vertices(), static_cast<Color>(d));
+    const SparseResult r = list_color_sparse(g, d, lists);
+    expect_proper_list_coloring(g, *r.coloring, lists);
+    const bool small = g.num_vertices() <= 120;
+    t.row(family, g.num_vertices(), gi, mad.value(),
+          2.0 * girth_lb / (girth_lb - 2.0), d, count_colors(*r.coloring),
+          r.ledger.total(),
+          small ? std::to_string(chromatic_number(g)) : std::string("-"));
+  };
+
+  // Girth 4 (triangle-free): d = 4.
+  run("grid 8x8", grid(8, 8), 4, 4);
+  run("grid 24x24", grid(24, 24), 4, 4);
+  run("grid 48x48", grid(48, 48), 4, 4);
+  run("cylinder 6x40", cylinder(6, 40), 4, 4);
+  run("subhex+quads 20x20", random_subhex(20, 20, 0.05, rng), 4, 4);
+
+  // Girth 6: d = 3.
+  run("hex 10x10", hex_patch(10, 10), 6, 3);
+  run("hex 24x24", hex_patch(24, 24), 6, 3);
+  run("hex 40x40", hex_patch(40, 40), 6, 3);
+  run("subhex 30x30", random_subhex(30, 30, 0.12, rng), 6, 3);
+
+  t.print();
+
+  std::cout << "\nShape check: mad always sits below the Prop 2.2 bound\n"
+               "(< 4 at girth 4, < 3 at girth 6), so d = 4 resp. 3 colors\n"
+               "suffice — one more color than Grotzsch's sequential 3 for\n"
+               "triangle-free planar, which Theorem 2.5 shows is the best\n"
+               "any o(n)-round algorithm can do.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Frequency assignment on a wireless mesh: interference graph is planar
+// (roughly a triangulated deployment area); every router has its own set
+// of *licensed* channels (some channels are locally jammed or reserved),
+// so this is genuine list-coloring — each node must pick one of ITS
+// channels, different from all interfering neighbors.
+//
+// Corollary 2.3(1): 6-entry channel lists always suffice on planar
+// interference graphs, and the assignment is computed distributedly.
+//
+//   $ ./frequency_assignment [rows] [cols]
+#include <cstdlib>
+#include <iostream>
+
+#include "scol/scol.h"
+
+int main(int argc, char** argv) {
+  using namespace scol;
+
+  const Vertex rows = argc > 1 ? std::atoi(argv[1]) : 18;
+  const Vertex cols = argc > 2 ? std::atoi(argv[2]) : 18;
+  Rng rng(42);
+
+  // Deployment area: grid with random diagonal shortcuts (planar).
+  const Graph mesh = grid_random_diagonals(rows, cols, rng);
+  std::cout << "interference graph: " << describe(mesh) << "\n";
+
+  // 16 channels exist; each router is licensed for a random 6 of them.
+  constexpr Color kChannels = 16;
+  const ListAssignment licensed =
+      random_lists(mesh.num_vertices(), 6, kChannels, rng);
+
+  const SparseResult r = planar_six_list_coloring(mesh, licensed);
+  expect_proper_list_coloring(mesh, *r.coloring, licensed);
+
+  // Channel usage histogram.
+  std::vector<int> usage(kChannels, 0);
+  for (Color c : *r.coloring) ++usage[static_cast<std::size_t>(c)];
+  std::cout << "assignment found in " << r.ledger.total()
+            << " LOCAL rounds; channel usage:\n";
+  for (Color ch = 0; ch < kChannels; ++ch)
+    std::cout << "  channel " << ch << ": " << usage[static_cast<std::size_t>(ch)]
+              << " routers\n";
+
+  // Sanity: the greedy sequential assignment can fail with tight lists on
+  // adversarial orders, while the theorem guarantees success.
+  std::cout << "\nEvery router transmits on a licensed channel; no two\n"
+               "interfering routers share one. Guaranteed by Cor. 2.3(1).\n";
+  return 0;
+}

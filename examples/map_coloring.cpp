@@ -1,0 +1,48 @@
+// Map coloring: color a random planar triangulation ("countries" sharing
+// borders) with three algorithms and compare color counts and LOCAL
+// rounds — the paper's headline improvement (6 colors, polylog rounds)
+// against Goldberg–Plotkin–Shannon (7 colors, O(log n) rounds) and the
+// sequential degeneracy greedy (<= 6 colors, but inherently sequential).
+//
+//   $ ./map_coloring [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "scol/scol.h"
+
+int main(int argc, char** argv) {
+  using namespace scol;
+
+  const Vertex n = argc > 1 ? std::atoi(argv[1]) : 600;
+  Rng rng(2026);
+  const Graph map = random_stacked_triangulation(n, rng);
+  std::cout << "political map (planar triangulation): " << describe(map)
+            << "\n\n";
+
+  Table table({"algorithm", "colors", "LOCAL rounds", "notes"});
+
+  {
+    const Coloring c = degeneracy_coloring(map);
+    expect_proper(map, c);
+    table.row("sequential greedy (degeneracy)", count_colors(c), "n/a",
+              "needs global order");
+  }
+  {
+    const PeelColoringResult r = gps_planar_seven_coloring(map);
+    expect_proper_with_at_most(map, r.coloring, 7);
+    table.row("GPS planar 7-coloring [17]", count_colors(r.coloring),
+              r.ledger.total(), "O(log n) rounds");
+  }
+  {
+    const ListAssignment lists = uniform_lists(map.num_vertices(), 6);
+    const SparseResult r = planar_six_list_coloring(map, lists);
+    expect_proper_list_coloring(map, *r.coloring, lists);
+    table.row("this paper: 6-list-coloring", count_colors(*r.coloring),
+              r.ledger.total(), "O(log^3 n) rounds, list version");
+  }
+
+  table.print();
+  std::cout << "\nThe paper trades a slightly larger polylog round count\n"
+               "for one fewer color — and works with arbitrary lists.\n";
+  return 0;
+}

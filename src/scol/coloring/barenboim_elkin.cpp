@@ -1,0 +1,20 @@
+#include "scol/coloring/barenboim_elkin.h"
+
+#include <cmath>
+
+namespace scol {
+
+Vertex barenboim_elkin_palette(Vertex arboricity, double eps) {
+  SCOL_REQUIRE(arboricity >= 1 && eps > 0);
+  return static_cast<Vertex>(
+             std::floor((2.0 + eps) * static_cast<double>(arboricity))) +
+         1;
+}
+
+PeelColoringResult barenboim_elkin_coloring(const Graph& g, Vertex arboricity,
+                                            double eps) {
+  const Vertex palette = barenboim_elkin_palette(arboricity, eps);
+  return peel_threshold_coloring(g, palette - 1);
+}
+
+}  // namespace scol

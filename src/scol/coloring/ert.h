@@ -1,0 +1,39 @@
+// Constructive Theorem 1.1 (Borodin; Erdős–Rubin–Taylor): a connected graph
+// that is not a Gallai tree is L-colorable whenever |L(v)| >= deg(v) for
+// every v. This module implements the classical constructive proof, which
+// Lemma 3.2 applies to the uncolored root balls B_R(r_i).
+//
+// Cases (each returns a valid coloring):
+//   1. Some vertex w has |L(w)| > deg(w): color greedily by decreasing
+//      BFS distance from w — every other vertex still has an uncolored
+//      neighbor closer to w at its turn, and w has spare capacity.
+//   2. All lists tight (|L(v)| == deg(v)). Peel the block tree toward a
+//      block B* that is neither a clique nor an odd cycle (exists since G
+//      is not a Gallai tree): leaf blocks B with anchor cut vertex x are
+//      colored greedily toward x, shrinking x's list but preserving the
+//      invariant |L'(v)| >= deg_remaining(v). Then inside 2-connected B*:
+//      a. a surplus vertex appeared -> case 1 locally;
+//      b. adjacent u,v with L(u) != L(v): color u with c in L(u)\L(v) and
+//         finish greedily toward v (B*-u is connected by 2-connectedness);
+//      c. all lists equal (so B* is r-regular): an even cycle is 2-colored
+//         directly; otherwise (r >= 3, non-complete) Lovász's split: find
+//         u with non-adjacent neighbors a, b with B*-{a,b} connected,
+//         color a and b with the same color, finish greedily toward u.
+#pragma once
+
+#include "scol/coloring/types.h"
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// Per-vertex available colors (sorted, unique); semantics of L(v) after
+/// removing the colors of already-colored outside neighbors.
+using AvailableLists = std::vector<std::vector<Color>>;
+
+/// Colors every vertex of connected `g` with c[v] in avail[v].
+/// Preconditions (throws PreconditionError otherwise): g connected,
+/// |avail[v]| >= deg(v) for all v, and (some vertex has surplus
+/// |avail[w]| > deg(w)) OR (g is not a Gallai tree).
+Coloring degree_choosable_coloring(const Graph& g, const AvailableLists& avail);
+
+}  // namespace scol

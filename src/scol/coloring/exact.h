@@ -1,0 +1,30 @@
+// Exact solvers (small graphs): k-colorability, chromatic number, and exact
+// list-colorability. These certify the lower-bound gadgets (chi of Klein
+// grids = 4, chi of C_n(1,2,3) = 5) and cross-check the constructive
+// Theorem 1.1 on random instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "scol/coloring/types.h"
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// A k-coloring of g if one exists (backtracking with saturation branching
+/// and color-symmetry breaking). `node_budget` bounds the search-tree size;
+/// exceeding it throws InternalError so callers pick feasible sizes.
+std::optional<Coloring> find_k_coloring(const Graph& g, Vertex k,
+                                        std::int64_t node_budget = 50'000'000);
+
+/// Exact chromatic number (tries k ascending from the clique bound).
+Vertex chromatic_number(const Graph& g,
+                        std::int64_t node_budget = 50'000'000);
+
+/// An L-list-coloring if one exists (MRV backtracking + forward checking).
+std::optional<Coloring> find_list_coloring(
+    const Graph& g, const ListAssignment& lists,
+    std::int64_t node_budget = 50'000'000);
+
+}  // namespace scol

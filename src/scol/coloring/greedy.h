@@ -1,0 +1,33 @@
+// Sequential greedy baselines (§1.2): greedy in a given order, degeneracy
+// greedy (floor(mad)+1 colors), DSATUR, and greedy list-coloring.
+#pragma once
+
+#include <optional>
+
+#include "scol/coloring/types.h"
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// Greedy coloring in the given vertex order, smallest free color each time.
+Coloring greedy_coloring(const Graph& g, const std::vector<Vertex>& order);
+
+/// Greedy in reverse degeneracy order: uses at most degeneracy+1 <=
+/// floor(mad)+1 colors — the paper's baseline bound ch(G) <= floor(mad)+1.
+Coloring degeneracy_coloring(const Graph& g);
+
+/// DSATUR heuristic (saturation-degree order).
+Coloring dsatur_coloring(const Graph& g);
+
+/// Greedy list-coloring in the given order (first list color not used by a
+/// colored neighbor); nullopt if some vertex has no free list color.
+std::optional<Coloring> greedy_list_coloring(const Graph& g,
+                                             const ListAssignment& lists,
+                                             const std::vector<Vertex>& order);
+
+/// Greedy list-coloring in reverse degeneracy order; always succeeds when
+/// every list has > degeneracy colors.
+std::optional<Coloring> degeneracy_list_coloring(const Graph& g,
+                                                 const ListAssignment& lists);
+
+}  // namespace scol

@@ -1,0 +1,147 @@
+#include "scol/coloring/happy.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "scol/graph/bfs.h"
+#include "scol/graph/components.h"
+#include "scol/graph/gallai.h"
+
+namespace scol {
+namespace {
+
+// Multi-source BFS marking happy[x] for all x within `limit` of `sources`
+// (in graph gr).
+void mark_within(const Graph& gr, const std::vector<Vertex>& sources,
+                 Vertex limit, std::vector<char>& happy) {
+  if (sources.empty() || limit < 0) return;
+  std::vector<Vertex> dist(static_cast<std::size_t>(gr.num_vertices()), -1);
+  std::deque<Vertex> queue;
+  for (Vertex s : sources) {
+    if (dist[static_cast<std::size_t>(s)] != 0) {
+      dist[static_cast<std::size_t>(s)] = 0;
+      happy[static_cast<std::size_t>(s)] = 1;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const Vertex x = queue.front();
+    queue.pop_front();
+    if (dist[static_cast<std::size_t>(x)] == limit) continue;
+    for (Vertex y : gr.neighbors(x)) {
+      if (dist[static_cast<std::size_t>(y)] < 0) {
+        dist[static_cast<std::size_t>(y)] = dist[static_cast<std::size_t>(x)] + 1;
+        happy[static_cast<std::size_t>(y)] = 1;
+        queue.push_back(y);
+      }
+    }
+  }
+}
+
+// Is the ball of radius r around v (in gr, restricted to `comp_mask`)
+// non-Gallai? (The ball is connected, so Gallai-forest == Gallai-tree.)
+bool ball_non_gallai(const Graph& gr, const std::vector<char>& comp_mask,
+                     Vertex v, Vertex r) {
+  const std::vector<Vertex> b = ball_within(gr, comp_mask, v, r);
+  if (static_cast<Vertex>(b.size()) <= 2) return false;
+  const InducedSubgraph sub = induce(gr, b);
+  return !all_blocks_clique_or_odd_cycle(block_decomposition(sub.graph));
+}
+
+}  // namespace
+
+HappyAnalysis compute_happy_set(const Graph& g, Vertex d, Vertex rho) {
+  SCOL_REQUIRE(d >= 1);
+  const Vertex n = g.num_vertices();
+  std::vector<char> rich(static_cast<std::size_t>(n), 0);
+  std::vector<char> witness(static_cast<std::size_t>(n), 0);
+  for (Vertex v = 0; v < n; ++v) {
+    rich[static_cast<std::size_t>(v)] = g.degree(v) <= d;
+    witness[static_cast<std::size_t>(v)] = g.degree(v) <= d - 1;
+  }
+  HappyAnalysis out = compute_happy_set_general(g, rich, witness, rho);
+  out.d = d;
+  return out;
+}
+
+HappyAnalysis compute_happy_set_general(const Graph& g,
+                                        const std::vector<char>& rich_mask,
+                                        const std::vector<char>& witness_mask,
+                                        Vertex rho) {
+  SCOL_REQUIRE(rho >= 0);
+  const Vertex n = g.num_vertices();
+  SCOL_REQUIRE(static_cast<Vertex>(rich_mask.size()) == n);
+  SCOL_REQUIRE(static_cast<Vertex>(witness_mask.size()) == n);
+  HappyAnalysis out;
+  out.radius = rho;
+  out.rich = rich_mask;
+  out.happy.assign(static_cast<std::size_t>(n), 0);
+
+  for (Vertex v = 0; v < n; ++v) {
+    if (rich_mask[static_cast<std::size_t>(v)])
+      ++out.num_rich;
+    else
+      ++out.num_poor;
+    SCOL_REQUIRE(!witness_mask[static_cast<std::size_t>(v)] ||
+                     rich_mask[static_cast<std::size_t>(v)],
+                 + "witnesses must be rich");
+  }
+
+  const InducedSubgraph gr = induce(g, out.rich);
+  const Vertex nr = gr.graph.num_vertices();
+  std::vector<char> happy_gr(static_cast<std::size_t>(nr), 0);
+
+  // Condition 1 (exact): within rho of a witness, in G[R].
+  std::vector<Vertex> low_degree;
+  for (Vertex x = 0; x < nr; ++x)
+    if (witness_mask[static_cast<std::size_t>(
+            gr.to_original[static_cast<std::size_t>(x)])])
+      low_degree.push_back(x);
+  mark_within(gr.graph, low_degree, rho, happy_gr);
+
+  // Condition 2 (exact): per component of G[R].
+  const Components comps = connected_components(gr.graph);
+  for (const auto& comp : comps.groups()) {
+    if (comp.size() <= 2) continue;  // tiny components are Gallai trees
+    std::vector<char> comp_mask(static_cast<std::size_t>(nr), 0);
+    for (Vertex x : comp) comp_mask[static_cast<std::size_t>(x)] = 1;
+    const InducedSubgraph cg = induce(gr.graph, comp);
+    // Fast path (2): a Gallai-tree component has only Gallai balls.
+    if (all_blocks_clique_or_odd_cycle(block_decomposition(cg.graph)))
+      continue;
+    // Fast path (3): shallow component — every ball is the whole component,
+    // which is non-Gallai, so everyone is happy.
+    const Vertex ecc = eccentricity(cg.graph, 0);
+    if (2 * ecc <= rho) {
+      for (Vertex x : comp) happy_gr[static_cast<std::size_t>(x)] = 1;
+      continue;
+    }
+    // Escalating witness radii with monotone propagation.
+    for (Vertex r = 1;; r *= 2) {
+      const Vertex rr = std::min(r, rho);
+      std::vector<Vertex> witnesses;
+      for (Vertex x : comp) {
+        if (happy_gr[static_cast<std::size_t>(x)]) continue;
+        if (ball_non_gallai(gr.graph, comp_mask, x, rr)) {
+          witnesses.push_back(x);
+          happy_gr[static_cast<std::size_t>(x)] = 1;
+        }
+      }
+      // Propagate: every vertex within rho - rr of a witness is happy.
+      mark_within(gr.graph, witnesses, rho - rr, happy_gr);
+      if (rr == rho) break;
+    }
+  }
+
+  for (Vertex x = 0; x < nr; ++x) {
+    if (happy_gr[static_cast<std::size_t>(x)]) {
+      out.happy[static_cast<std::size_t>(
+          gr.to_original[static_cast<std::size_t>(x)])] = 1;
+      ++out.num_happy;
+    }
+  }
+  out.num_sad = out.num_rich - out.num_happy;
+  return out;
+}
+
+}  // namespace scol

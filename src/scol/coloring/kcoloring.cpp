@@ -1,0 +1,124 @@
+#include "scol/coloring/kcoloring.h"
+
+#include <algorithm>
+
+#include "scol/util/prime.h"
+
+namespace scol {
+namespace {
+
+// q^e, clamped to avoid overflow.
+std::int64_t clamped_pow(std::int64_t q, int e) {
+  std::int64_t r = 1;
+  for (int i = 0; i < e; ++i) {
+    if (r > (std::int64_t{1} << 40)) return std::int64_t{1} << 40;
+    r *= q;
+  }
+  return r;
+}
+
+struct LinialParams {
+  std::int64_t q = 0;
+  int t = 0;
+  std::int64_t palette() const { return q * q; }
+};
+
+// Best (q, t): minimize q^2 subject to q prime, q > d*t, q^{t+1} >= k.
+LinialParams linial_params(std::int64_t k, Vertex d) {
+  LinialParams best;
+  for (int t = 1; t <= 42; ++t) {
+    std::int64_t q = next_prime(static_cast<std::int64_t>(d) * t + 1);
+    while (clamped_pow(q, t + 1) < k) q = next_prime(q + 1);
+    if (best.q == 0 || q * q < best.palette()) best = {q, t};
+  }
+  return best;
+}
+
+// Evaluate the polynomial whose coefficients are the base-q digits of
+// `color` at point x, over F_q.
+std::int64_t poly_eval(std::int64_t color, std::int64_t q, int t,
+                       std::int64_t x) {
+  std::int64_t val = 0;
+  std::int64_t xp = 1;
+  for (int i = 0; i <= t; ++i) {
+    const std::int64_t digit = color % q;
+    color /= q;
+    val = (val + digit * xp) % q;
+    xp = (xp * x) % q;
+  }
+  return val;
+}
+
+}  // namespace
+
+std::int64_t linial_next_palette(std::int64_t k, Vertex d) {
+  return linial_params(k, d).palette();
+}
+
+DegreeColoringResult distributed_degree_coloring(const Graph& g, Vertex dmax,
+                                                 RoundLedger* ledger,
+                                                 const std::string& phase) {
+  SCOL_REQUIRE(dmax >= g.max_degree(), + "dmax must bound the max degree");
+  const Vertex n = g.num_vertices();
+  DegreeColoringResult out;
+  out.coloring.resize(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) out.coloring[static_cast<std::size_t>(v)] = v;
+
+  const Vertex target = std::min<Vertex>(dmax + 1, std::max<Vertex>(n, 1));
+  std::int64_t k = std::max<Vertex>(n, 1);  // current palette size
+  const Vertex d = std::max<Vertex>(dmax, 1);
+
+  // --- Linial reduction rounds (one communication round each). ---
+  while (k > target) {
+    const LinialParams p = linial_params(k, d);
+    if (p.palette() >= k) break;  // no further improvement possible
+    std::vector<Color> next(static_cast<std::size_t>(n));
+    for (Vertex v = 0; v < n; ++v) {
+      const std::int64_t cv = out.coloring[static_cast<std::size_t>(v)];
+      std::int64_t chosen_x = -1;
+      for (std::int64_t x = 0; x < p.q && chosen_x < 0; ++x) {
+        bool ok = true;
+        const std::int64_t mine = poly_eval(cv, p.q, p.t, x);
+        for (Vertex w : g.neighbors(v)) {
+          const std::int64_t cw = out.coloring[static_cast<std::size_t>(w)];
+          if (poly_eval(cw, p.q, p.t, x) == mine) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) chosen_x = x;
+      }
+      SCOL_CHECK(chosen_x >= 0, + "cover-free family must provide a point");
+      next[static_cast<std::size_t>(v)] = static_cast<Color>(
+          chosen_x * p.q + poly_eval(cv, p.q, p.t, chosen_x));
+    }
+    out.coloring = std::move(next);
+    k = p.palette();
+    ++out.rounds;
+  }
+
+  // --- Reduce one color value per round down to the target palette. ---
+  // In round for value c (from k-1 down to target), the class {v : color(v)
+  // == c} is an independent set; each member picks the smallest color in
+  // [0, target) unused by its neighbors (exists: deg <= dmax < target).
+  for (std::int64_t c = k - 1; c >= target; --c) {
+    for (Vertex v = 0; v < n; ++v) {
+      if (out.coloring[static_cast<std::size_t>(v)] != c) continue;
+      std::vector<char> used(static_cast<std::size_t>(target), 0);
+      for (Vertex w : g.neighbors(v)) {
+        const Color cw = out.coloring[static_cast<std::size_t>(w)];
+        if (cw >= 0 && cw < target) used[static_cast<std::size_t>(cw)] = 1;
+      }
+      Color pick = 0;
+      while (used[static_cast<std::size_t>(pick)]) ++pick;
+      out.coloring[static_cast<std::size_t>(v)] = pick;
+    }
+    ++out.rounds;
+  }
+
+  out.palette = target;
+  if (ledger != nullptr) ledger->charge(phase, out.rounds);
+  return out;
+}
+
+}  // namespace scol

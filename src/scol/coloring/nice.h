@@ -1,0 +1,39 @@
+// Theorem 6.1: nice list assignments.
+//
+// A list assignment L is *nice* when every vertex v has |L(v)| >= d(v),
+// except that vertices with d(v) <= 2 or whose neighborhood is a clique
+// must have |L(v)| >= d(v) + 1. The paper observes that the Theorem 1.3
+// machinery goes through with d replaced by the vertex's own list size:
+// every vertex is rich, condition-1 witnesses become the *surplus*
+// vertices (|L(v)| > deg(v) in the current residual graph — peeling
+// manufactures surplus, since a vertex that lost a neighbor keeps its
+// list), and the extension step is extend_level_lemma32 with aux_dmax =
+// Delta. Round complexity O(Delta^2 log^3 n).
+//
+// This also yields Corollary 2.1 (all lists of size Delta) — see
+// derived.h for the clique-aware entry point.
+#pragma once
+
+#include "scol/coloring/sparse.h"
+#include "scol/coloring/types.h"
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// True iff L is nice for g.
+bool is_nice_assignment(const Graph& g, const ListAssignment& lists);
+
+struct NiceResult {
+  Coloring coloring;
+  RoundLedger ledger;
+  Vertex peel_iterations = 0;
+  Vertex radius = 0;
+};
+
+/// Theorem 6.1: finds an L-list-coloring for a nice list assignment L.
+/// Throws PreconditionError if L is not nice (or the peel stalls, which
+/// niceness rules out).
+NiceResult nice_list_coloring(const Graph& g, const ListAssignment& lists,
+                              const SparseOptions& opts = {});
+
+}  // namespace scol

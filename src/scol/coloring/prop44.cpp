@@ -1,0 +1,132 @@
+#include "scol/coloring/prop44.h"
+
+#include <algorithm>
+#include <set>
+
+#include "scol/graph/blocks.h"
+
+namespace scol {
+
+Figure4Construction figure4_construction(const Graph& gs) {
+  const Vertex n = gs.num_vertices();
+  const BlockDecomposition dec = block_decomposition(gs);
+
+  // --- Step 1: replace clique blocks (>= 3 vertices) by stars. ---
+  std::set<Edge> removed;
+  std::vector<std::vector<Vertex>> hubs;  // members of each clique block
+  for (const Block& b : dec.blocks) {
+    const bool clique = block_is_clique(b);
+    const bool odd_cycle = block_is_odd_cycle(b);
+    SCOL_REQUIRE(clique || odd_cycle,
+                 + "figure4_construction needs a Gallai (clique/odd-cycle) "
+                   "block structure");
+    // A triangle is both; the paper treats triangles as cliques.
+    if (clique && b.vertices.size() >= 3) {
+      for (std::size_t i = 0; i < b.vertices.size(); ++i)
+        for (std::size_t j = i + 1; j < b.vertices.size(); ++j)
+          removed.insert({std::min(b.vertices[i], b.vertices[j]),
+                          std::max(b.vertices[i], b.vertices[j])});
+      hubs.push_back(b.vertices);
+    }
+  }
+
+  const Vertex total = n + static_cast<Vertex>(hubs.size());
+  std::set<Edge> edges;
+  for (const auto& e : gs.edges())
+    if (!removed.count(e)) edges.insert(e);
+  for (std::size_t hi = 0; hi < hubs.size(); ++hi) {
+    const Vertex hub = n + static_cast<Vertex>(hi);
+    for (Vertex v : hubs[hi]) edges.insert({std::min(hub, v), std::max(hub, v)});
+  }
+
+  // Degrees after step 1.
+  std::vector<Vertex> deg(static_cast<std::size_t>(total), 0);
+  for (const auto& [u, v] : edges) {
+    ++deg[static_cast<std::size_t>(u)];
+    ++deg[static_cast<std::size_t>(v)];
+  }
+
+  // T: original vertices of degree >= 3 in gs but exactly 2 now.
+  std::vector<char> in_t(static_cast<std::size_t>(total), 0);
+  Vertex t_count = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (gs.degree(v) >= 3 && deg[static_cast<std::size_t>(v)] == 2) {
+      in_t[static_cast<std::size_t>(v)] = 1;
+      ++t_count;
+    }
+  }
+
+  // --- Step 2: suppress maximal T-paths (length 1 or 2; the paper shows
+  // no three T vertices are consecutive). ---
+  // Adjacency map of the current graph.
+  std::vector<std::vector<Vertex>> adj(static_cast<std::size_t>(total));
+  for (const auto& [u, v] : edges) {
+    adj[static_cast<std::size_t>(u)].push_back(v);
+    adj[static_cast<std::size_t>(v)].push_back(u);
+  }
+  std::vector<char> done(static_cast<std::size_t>(total), 0);
+  std::set<Edge> final_edges = edges;
+  auto erase_edge = [&](Vertex a, Vertex b) {
+    final_edges.erase({std::min(a, b), std::max(a, b)});
+  };
+  for (Vertex t = 0; t < n; ++t) {
+    if (!in_t[static_cast<std::size_t>(t)] || done[static_cast<std::size_t>(t)])
+      continue;
+    SCOL_CHECK(adj[static_cast<std::size_t>(t)].size() == 2,
+               + "T vertices have degree 2 after step 1");
+    Vertex a = adj[static_cast<std::size_t>(t)][0];
+    Vertex b = adj[static_cast<std::size_t>(t)][1];
+    done[static_cast<std::size_t>(t)] = 1;
+    erase_edge(t, a);
+    erase_edge(t, b);
+    // Extend through at most one adjacent T vertex on either side.
+    auto extend = [&](Vertex& endpoint, Vertex from) {
+      if (endpoint < n && in_t[static_cast<std::size_t>(endpoint)] &&
+          !done[static_cast<std::size_t>(endpoint)]) {
+        const Vertex t2 = endpoint;
+        SCOL_CHECK(adj[static_cast<std::size_t>(t2)].size() == 2,
+                   + "T vertices have degree 2 after step 1");
+        const Vertex other = adj[static_cast<std::size_t>(t2)][0] == from
+                                 ? adj[static_cast<std::size_t>(t2)][1]
+                                 : adj[static_cast<std::size_t>(t2)][0];
+        done[static_cast<std::size_t>(t2)] = 1;
+        erase_edge(t2, other);
+        SCOL_CHECK(!(other < n && in_t[static_cast<std::size_t>(other)] &&
+                     !done[static_cast<std::size_t>(other)]),
+                   + "no three consecutive T vertices (paper invariant)");
+        endpoint = other;
+      }
+    };
+    extend(a, t);
+    extend(b, t);
+    SCOL_CHECK(a != b, + "suppression must not create a loop");
+    const Edge bridge{std::min(a, b), std::max(a, b)};
+    SCOL_CHECK(!final_edges.count(bridge),
+               + "suppression must not create a multi-edge");
+    final_edges.insert(bridge);
+  }
+
+  // Drop the suppressed vertices and compact ids.
+  Figure4Construction out;
+  out.num_clique_hubs = static_cast<Vertex>(hubs.size());
+  out.num_suppressed = t_count;
+  std::vector<Vertex> new_id(static_cast<std::size_t>(total), -1);
+  for (Vertex v = 0; v < total; ++v) {
+    if (v < n && done[static_cast<std::size_t>(v)]) continue;  // suppressed
+    new_id[static_cast<std::size_t>(v)] =
+        static_cast<Vertex>(out.to_original.size());
+    out.to_original.push_back(v < n ? v : -1);
+  }
+  std::vector<Edge> he;
+  for (const auto& [u, v] : final_edges) {
+    SCOL_DCHECK(new_id[static_cast<std::size_t>(u)] >= 0 &&
+                new_id[static_cast<std::size_t>(v)] >= 0);
+    he.emplace_back(
+        std::min(new_id[static_cast<std::size_t>(u)], new_id[static_cast<std::size_t>(v)]),
+        std::max(new_id[static_cast<std::size_t>(u)], new_id[static_cast<std::size_t>(v)]));
+  }
+  out.h = Graph::from_edges(static_cast<Vertex>(out.to_original.size()), he);
+  return out;
+}
+
+}  // namespace scol

@@ -1,0 +1,40 @@
+// The two-step construction of Proposition 4.4's auxiliary graph H
+// (Figure 4): the combinatorial engine behind Lemma 3.1's counting.
+//
+// Input: G[S] — the graph induced by sad vertices, in which every block is
+// a clique or an odd cycle (locally Gallai; for the finite test instances
+// here, blocks of the graph coincide with the paper's "local blocks").
+//
+// Step 1: every clique block C on >= 3 vertices is replaced by a star:
+//         a new hub v_C adjacent to all of C, C's edges removed.
+// Step 2: vertices that had degree >= 3 in G[S] but have degree exactly 2
+//         after step 1 (the set T; the paper shows no three of them are
+//         consecutive) are suppressed — each maximal T-path of one or two
+//         vertices is replaced by a single edge.
+//
+// The paper derives: H has girth >= 5 (given the ball-radius premise), and
+// counting vertices of degree <= 2 in H lower-bounds the degree-(d-1)
+// vertices of G[S] — giving Prop. 4.4's |S|/12 bound.
+#pragma once
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+struct Figure4Construction {
+  Graph h;
+  /// Number of added clique hubs v_C.
+  Vertex num_clique_hubs = 0;
+  /// Size of the suppressed set T.
+  Vertex num_suppressed = 0;
+  /// Map from H vertex ids to G[S] ids (-1 for the added hubs).
+  std::vector<Vertex> to_original;
+};
+
+/// Builds H from gs. Requires every block of gs to be a clique or an odd
+/// cycle (throws PreconditionError otherwise); throws InternalError if the
+/// suppression step would create a loop or a multi-edge (impossible under
+/// the paper's premises, kept as a checked invariant).
+Figure4Construction figure4_construction(const Graph& gs);
+
+}  // namespace scol

@@ -1,0 +1,66 @@
+#include "scol/coloring/randomized.h"
+
+#include <set>
+
+namespace scol {
+
+RandomizedColoringResult randomized_list_coloring(const Graph& g,
+                                                  const ListAssignment& lists,
+                                                  Rng& rng,
+                                                  RoundLedger* ledger,
+                                                  int max_rounds) {
+  const Vertex n = g.num_vertices();
+  SCOL_REQUIRE(lists.size() == n);
+  SCOL_REQUIRE(lists.canonical(), + "lists must be sorted unique");
+  for (Vertex v = 0; v < n; ++v)
+    SCOL_REQUIRE(static_cast<Vertex>(lists.of(v).size()) >= g.degree(v) + 1,
+                 + "randomized list coloring needs (deg+1)-lists");
+
+  RandomizedColoringResult out;
+  out.coloring = empty_coloring(n);
+  Vertex uncolored = n;
+  std::vector<Color> proposal(static_cast<std::size_t>(n), kUncolored);
+
+  while (uncolored > 0) {
+    SCOL_CHECK(out.rounds < max_rounds,
+               + "randomized coloring did not converge (astronomically "
+                 "unlikely)");
+    // Propose: a uniform color from L(v) minus colored neighbors.
+    for (Vertex v = 0; v < n; ++v) {
+      proposal[static_cast<std::size_t>(v)] = kUncolored;
+      if (out.coloring[static_cast<std::size_t>(v)] != kUncolored) continue;
+      std::set<Color> blocked;
+      for (Vertex w : g.neighbors(v)) {
+        const Color cw = out.coloring[static_cast<std::size_t>(w)];
+        if (cw != kUncolored) blocked.insert(cw);
+      }
+      std::vector<Color> free;
+      for (Color c : lists.of(v))
+        if (!blocked.count(c)) free.push_back(c);
+      SCOL_CHECK(!free.empty(), + "(deg+1)-lists always leave a free color");
+      proposal[static_cast<std::size_t>(v)] =
+          free[rng.below(free.size())];
+    }
+    // Resolve: keep the proposal iff no neighbor proposed the same color.
+    for (Vertex v = 0; v < n; ++v) {
+      const Color mine = proposal[static_cast<std::size_t>(v)];
+      if (mine == kUncolored) continue;
+      bool clash = false;
+      for (Vertex w : g.neighbors(v)) {
+        if (proposal[static_cast<std::size_t>(w)] == mine) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        out.coloring[static_cast<std::size_t>(v)] = mine;
+        --uncolored;
+      }
+    }
+    out.rounds += 2;  // propose + resolve
+  }
+  if (ledger != nullptr) ledger->charge("randomized-coloring", out.rounds);
+  return out;
+}
+
+}  // namespace scol

@@ -1,0 +1,32 @@
+// Randomized distributed list-coloring (paper §6, Question 6.2 remark).
+//
+// The paper notes that the simple randomized (Δ+1)-coloring algorithm
+// (see [5]) adapts to the list setting: every uncolored vertex proposes a
+// uniformly random color from its list minus its colored neighbors'
+// colors; a proposal is kept iff no neighbor proposed the same color in
+// the same round. With |L(v)| >= deg(v)+1 each vertex survives a round
+// with probability >= 1/4, so all vertices finish in O(log n) rounds
+// w.h.p. — an exponential round gap versus the deterministic lower bounds
+// of §2, which this library measures (bench_ablation).
+#pragma once
+
+#include "scol/coloring/types.h"
+#include "scol/graph/graph.h"
+#include "scol/local/ledger.h"
+#include "scol/util/rng.h"
+
+namespace scol {
+
+struct RandomizedColoringResult {
+  Coloring coloring;
+  std::int64_t rounds = 0;
+};
+
+/// Randomized (deg+1)-list-coloring: requires |L(v)| >= deg(v)+1 for all
+/// v. Each round costs 2 LOCAL rounds (propose + resolve). Throws
+/// InternalError if not done after max_rounds (probability ~ n^-c).
+RandomizedColoringResult randomized_list_coloring(
+    const Graph& g, const ListAssignment& lists, Rng& rng,
+    RoundLedger* ledger = nullptr, int max_rounds = 40'000);
+
+}  // namespace scol

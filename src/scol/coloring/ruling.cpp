@@ -1,0 +1,104 @@
+#include "scol/coloring/ruling.h"
+
+#include <deque>
+
+#include "scol/graph/bfs.h"
+
+namespace scol {
+
+RulingForest ruling_forest(const Graph& g, const std::vector<char>& in_u,
+                           Vertex alpha, RoundLedger* ledger,
+                           const std::string& phase) {
+  const Vertex n = g.num_vertices();
+  SCOL_REQUIRE(static_cast<Vertex>(in_u.size()) == n);
+  SCOL_REQUIRE(alpha >= 1);
+
+  int bits = 1;
+  while ((std::int64_t{1} << bits) < std::max<Vertex>(n, 2)) ++bits;
+
+  RulingForest out;
+  out.alpha = alpha;
+  out.depth_bound = alpha * bits;
+
+  // --- Ruling set by bit elimination. ---
+  std::vector<char> alive = in_u;
+  std::int64_t rounds = 0;
+  for (int b = 0; b < bits; ++b) {
+    std::vector<Vertex> zeros;
+    bool has_one = false;
+    for (Vertex v = 0; v < n; ++v) {
+      if (!alive[static_cast<std::size_t>(v)]) continue;
+      if ((v >> b) & 1)
+        has_one = true;
+      else
+        zeros.push_back(v);
+    }
+    rounds += alpha;  // the schedule always runs the alpha-truncated BFS
+    if (zeros.empty() || !has_one) continue;
+    // Truncated multi-source BFS from the zero-bit candidates: any one-bit
+    // candidate within distance < alpha drops out.
+    std::vector<Vertex> dist(static_cast<std::size_t>(n), -1);
+    std::deque<Vertex> queue;
+    for (Vertex z : zeros) {
+      dist[static_cast<std::size_t>(z)] = 0;
+      queue.push_back(z);
+    }
+    while (!queue.empty()) {
+      const Vertex x = queue.front();
+      queue.pop_front();
+      if (dist[static_cast<std::size_t>(x)] == alpha - 1) continue;
+      for (Vertex y : g.neighbors(x)) {
+        if (dist[static_cast<std::size_t>(y)] < 0) {
+          dist[static_cast<std::size_t>(y)] = dist[static_cast<std::size_t>(x)] + 1;
+          queue.push_back(y);
+        }
+      }
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      if (alive[static_cast<std::size_t>(v)] && ((v >> b) & 1) &&
+          dist[static_cast<std::size_t>(v)] >= 0)
+        alive[static_cast<std::size_t>(v)] = 0;
+    }
+  }
+
+  // --- BFS forest from the survivors, truncated at the depth bound. ---
+  out.root.assign(static_cast<std::size_t>(n), -1);
+  out.parent.assign(static_cast<std::size_t>(n), -1);
+  out.depth.assign(static_cast<std::size_t>(n), -1);
+  std::deque<Vertex> queue;
+  for (Vertex v = 0; v < n; ++v) {
+    if (alive[static_cast<std::size_t>(v)]) {
+      out.roots.push_back(v);
+      out.root[static_cast<std::size_t>(v)] = v;
+      out.depth[static_cast<std::size_t>(v)] = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const Vertex x = queue.front();
+    queue.pop_front();
+    if (out.depth[static_cast<std::size_t>(x)] == out.depth_bound) continue;
+    for (Vertex y : g.neighbors(x)) {
+      if (out.root[static_cast<std::size_t>(y)] < 0) {
+        out.root[static_cast<std::size_t>(y)] = out.root[static_cast<std::size_t>(x)];
+        out.parent[static_cast<std::size_t>(y)] = x;
+        out.depth[static_cast<std::size_t>(y)] =
+            out.depth[static_cast<std::size_t>(x)] + 1;
+        out.max_depth =
+            std::max(out.max_depth, out.depth[static_cast<std::size_t>(y)]);
+        queue.push_back(y);
+      }
+    }
+  }
+  rounds += out.depth_bound;
+
+  // Every U-vertex must have been captured (coverage property).
+  for (Vertex v = 0; v < n; ++v)
+    SCOL_CHECK(!in_u[static_cast<std::size_t>(v)] || out.in_forest(v),
+               + "ruling forest must cover U");
+
+  if (ledger != nullptr) ledger->charge(phase, rounds);
+  return out;
+}
+
+}  // namespace scol

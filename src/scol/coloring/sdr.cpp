@@ -1,0 +1,34 @@
+#include "scol/coloring/sdr.h"
+
+#include <map>
+
+#include "scol/flow/matching.h"
+#include "scol/graph/cliques.h"
+
+namespace scol {
+
+std::optional<Coloring> color_clique_by_sdr(const Graph& g,
+                                            const std::vector<Vertex>& vertices,
+                                            const ListAssignment& lists) {
+  SCOL_REQUIRE(is_clique(g, vertices), + "SDR coloring needs a clique");
+  std::map<Color, int> palette;
+  for (Vertex v : vertices)
+    for (Color x : lists.of(v)) palette.try_emplace(x, static_cast<int>(palette.size()));
+
+  BipartiteMatcher matcher(static_cast<int>(vertices.size()),
+                           static_cast<int>(palette.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    for (Color x : lists.of(vertices[i]))
+      matcher.add_edge(static_cast<int>(i), palette.at(x));
+  if (matcher.solve() != static_cast<int>(vertices.size())) return std::nullopt;
+
+  std::vector<Color> back(palette.size());
+  for (const auto& [real, id] : palette) back[static_cast<std::size_t>(id)] = real;
+  Coloring out = empty_coloring(g.num_vertices());
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    out[static_cast<std::size_t>(vertices[i])] =
+        back[static_cast<std::size_t>(matcher.match_of_left(static_cast<int>(i)))];
+  return out;
+}
+
+}  // namespace scol

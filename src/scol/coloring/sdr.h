@@ -1,0 +1,23 @@
+// System-of-distinct-representatives coloring for cliques.
+//
+// A clique is L-colorable iff the lists admit an SDR (all colors pairwise
+// distinct), which by König/Hall reduces to a perfect bipartite matching.
+// Used for the K_{Δ+1} components in Corollary 2.1: with Δ-lists such a
+// component is L-colorable iff its lists are not all identical, and the
+// matching both decides and colors.
+#pragma once
+
+#include <optional>
+
+#include "scol/coloring/types.h"
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// Colors the clique `vertices` of g with pairwise-distinct list colors, or
+/// nullopt if no SDR exists. Returned coloring covers only `vertices`.
+std::optional<Coloring> color_clique_by_sdr(const Graph& g,
+                                            const std::vector<Vertex>& vertices,
+                                            const ListAssignment& lists);
+
+}  // namespace scol

@@ -1,0 +1,90 @@
+#include "scol/coloring/types.h"
+
+#include <algorithm>
+#include <set>
+
+namespace scol {
+
+std::size_t ListAssignment::min_list_size() const {
+  std::size_t m = ~static_cast<std::size_t>(0);
+  for (const auto& l : lists) m = std::min(m, l.size());
+  return lists.empty() ? 0 : m;
+}
+
+bool ListAssignment::canonical() const {
+  for (const auto& l : lists) {
+    if (!std::is_sorted(l.begin(), l.end())) return false;
+    if (std::adjacent_find(l.begin(), l.end()) != l.end()) return false;
+  }
+  return true;
+}
+
+ListAssignment uniform_lists(Vertex n, Color k) {
+  SCOL_REQUIRE(n >= 0 && k >= 1);
+  std::vector<Color> base(static_cast<std::size_t>(k));
+  for (Color c = 0; c < k; ++c) base[static_cast<std::size_t>(c)] = c;
+  ListAssignment out;
+  out.lists.assign(static_cast<std::size_t>(n), base);
+  return out;
+}
+
+ListAssignment random_lists(Vertex n, Color k, Color palette_size, Rng& rng) {
+  SCOL_REQUIRE(k >= 1 && palette_size >= k);
+  ListAssignment out;
+  out.lists.reserve(static_cast<std::size_t>(n));
+  std::vector<Color> palette(static_cast<std::size_t>(palette_size));
+  for (Color c = 0; c < palette_size; ++c)
+    palette[static_cast<std::size_t>(c)] = c;
+  for (Vertex v = 0; v < n; ++v) {
+    rng.shuffle(palette);
+    std::vector<Color> list(palette.begin(), palette.begin() + k);
+    std::sort(list.begin(), list.end());
+    out.lists.push_back(std::move(list));
+  }
+  return out;
+}
+
+Coloring empty_coloring(Vertex n) {
+  return Coloring(static_cast<std::size_t>(n), kUncolored);
+}
+
+bool is_proper(const Graph& g, const Coloring& c) {
+  if (static_cast<Vertex>(c.size()) != g.num_vertices()) return false;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (c[static_cast<std::size_t>(v)] == kUncolored) return false;
+  return is_partial_proper(g, c);
+}
+
+bool is_partial_proper(const Graph& g, const Coloring& c) {
+  if (static_cast<Vertex>(c.size()) != g.num_vertices()) return false;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const Color cv = c[static_cast<std::size_t>(v)];
+    if (cv == kUncolored) continue;
+    for (Vertex w : g.neighbors(v)) {
+      if (w > v && c[static_cast<std::size_t>(w)] == cv) return false;
+    }
+  }
+  return true;
+}
+
+bool respects_lists(const Coloring& c, const ListAssignment& lists) {
+  if (c.size() != lists.lists.size()) return false;
+  for (std::size_t v = 0; v < c.size(); ++v) {
+    if (c[v] == kUncolored) continue;
+    if (!list_contains(lists.lists[v], c[v])) return false;
+  }
+  return true;
+}
+
+Vertex count_colors(const Coloring& c) {
+  std::set<Color> used;
+  for (Color x : c)
+    if (x != kUncolored) used.insert(x);
+  return static_cast<Vertex>(used.size());
+}
+
+bool list_contains(const std::vector<Color>& list, Color x) {
+  return std::binary_search(list.begin(), list.end(), x);
+}
+
+}  // namespace scol

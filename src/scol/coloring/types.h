@@ -1,0 +1,63 @@
+// Core coloring types: colorings, list assignments, and validity checks.
+//
+// Colors are arbitrary non-negative integers (the paper's lists need not be
+// {1..k}); kUncolored marks vertices not yet colored.
+#pragma once
+
+#include <vector>
+
+#include "scol/graph/graph.h"
+#include "scol/util/rng.h"
+
+namespace scol {
+
+using Color = std::int32_t;
+inline constexpr Color kUncolored = -1;
+
+using Coloring = std::vector<Color>;
+
+/// A k-list-assignment L: lists[v] is the set of allowed colors of v
+/// (paper §1.2: |L(v)| >= k for a k-list-assignment).
+struct ListAssignment {
+  std::vector<std::vector<Color>> lists;
+
+  Vertex size() const { return static_cast<Vertex>(lists.size()); }
+  const std::vector<Color>& of(Vertex v) const {
+    return lists[static_cast<std::size_t>(v)];
+  }
+
+  /// Smallest list size (the k of the k-list-assignment).
+  std::size_t min_list_size() const;
+
+  /// True iff every list is sorted and duplicate-free (the canonical form
+  /// produced by the constructors below; algorithms may require it).
+  bool canonical() const;
+};
+
+/// The identical-lists assignment {0..k-1} for every vertex: list-coloring
+/// with these lists is exactly ordinary k-coloring.
+ListAssignment uniform_lists(Vertex n, Color k);
+
+/// Random k-subsets of a palette of `palette_size` colors.
+ListAssignment random_lists(Vertex n, Color k, Color palette_size, Rng& rng);
+
+/// All vertices uncolored.
+Coloring empty_coloring(Vertex n);
+
+/// True iff every vertex is colored and no edge is monochromatic.
+bool is_proper(const Graph& g, const Coloring& c);
+
+/// True iff no edge with both ends colored is monochromatic (partial
+/// colorings allowed).
+bool is_partial_proper(const Graph& g, const Coloring& c);
+
+/// True iff every colored vertex uses a color from its list.
+bool respects_lists(const Coloring& c, const ListAssignment& lists);
+
+/// Number of distinct colors used (ignores uncolored vertices).
+Vertex count_colors(const Coloring& c);
+
+/// True iff color x is in the (sorted) list.
+bool list_contains(const std::vector<Color>& list, Color x);
+
+}  // namespace scol

@@ -1,0 +1,165 @@
+#include "scol/flow/density.h"
+
+#include <algorithm>
+
+#include "scol/flow/dinic.h"
+
+namespace scol {
+namespace {
+
+// Network for max_S [q·e(S) − p·|S|] (+ forcing f into S when f >= 0, with
+// f's vertex cost waived so the objective becomes q·e(S) − p·(|S|−1)).
+//
+// Nodes: 0 = source, 1 = sink, 2..2+m-1 edge nodes, 2+m.. vertex nodes.
+// source→edge cap q; edge→both endpoints cap inf; vertex→sink cap p
+// (0 for the forced vertex, which is additionally wired source→vertex inf).
+// max_S objective = q·m − mincut, S = source side ∩ vertices.
+struct SelectionResult {
+  std::int64_t best;            // max of the objective
+  std::vector<Vertex> subset;   // argmax S
+};
+
+SelectionResult max_edge_selection(const Graph& g, std::int64_t q,
+                                   std::int64_t p, Vertex forced) {
+  const auto edges = g.edges();
+  const int m = static_cast<int>(edges.size());
+  const int n = static_cast<int>(g.num_vertices());
+  Dinic net(2 + m + n);
+  const int source = 0, sink = 1;
+  auto edge_node = [&](int e) { return 2 + e; };
+  auto vertex_node = [&](Vertex v) { return 2 + m + static_cast<int>(v); };
+
+  for (int e = 0; e < m; ++e) {
+    net.add_edge(source, edge_node(e), q);
+    net.add_edge(edge_node(e), vertex_node(edges[static_cast<std::size_t>(e)].first), Dinic::kInf);
+    net.add_edge(edge_node(e), vertex_node(edges[static_cast<std::size_t>(e)].second), Dinic::kInf);
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::int64_t cost = (v == forced) ? 0 : p;
+    net.add_edge(vertex_node(v), sink, cost);
+  }
+  if (forced >= 0) net.add_edge(source, vertex_node(forced), Dinic::kInf);
+
+  const std::int64_t cut = net.max_flow(source, sink);
+  const auto side = net.min_cut_source_side(source);
+  SelectionResult out;
+  out.best = q * static_cast<std::int64_t>(m) - cut;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (side[static_cast<std::size_t>(vertex_node(v))]) out.subset.push_back(v);
+  return out;
+}
+
+std::int64_t edges_inside(const Graph& g, const std::vector<Vertex>& s) {
+  std::vector<char> in(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (Vertex v : s) in[static_cast<std::size_t>(v)] = 1;
+  std::int64_t e = 0;
+  for (Vertex v : s)
+    for (Vertex w : g.neighbors(v))
+      if (v < w && in[static_cast<std::size_t>(w)]) ++e;
+  return e;
+}
+
+}  // namespace
+
+DensestSubgraph densest_subgraph(const Graph& g) {
+  DensestSubgraph best;
+  if (g.num_edges() == 0) {
+    if (g.num_vertices() > 0) best.witness.push_back(0);
+    return best;  // density 0/1
+  }
+  // Dinkelbach: start from S = V; repeatedly test whether some S beats the
+  // current exact density p/q; the min-cut witness strictly improves it.
+  std::vector<Vertex> s(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) s[static_cast<std::size_t>(v)] = v;
+  best.num = g.num_edges();
+  best.den = g.num_vertices();
+  best.witness = std::move(s);
+
+  for (int guard = 0; guard <= g.num_vertices() + 2; ++guard) {
+    // Does some S achieve q·e(S) − p·|S| > 0, i.e. density > p/q ?
+    const auto r = max_edge_selection(g, best.den, best.num, /*forced=*/-1);
+    if (r.best <= 0 || r.subset.empty()) return best;
+    const std::int64_t e = edges_inside(g, r.subset);
+    const std::int64_t v = static_cast<std::int64_t>(r.subset.size());
+    // Strict improvement is guaranteed: e/v > num/den.
+    SCOL_CHECK(e * best.den > best.num * v, + "Dinkelbach must improve");
+    best.num = e;
+    best.den = v;
+    best.witness = r.subset;
+  }
+  throw InternalError("densest_subgraph: Dinkelbach failed to converge");
+}
+
+DensestSubgraph maximum_average_degree(const Graph& g) {
+  DensestSubgraph d = densest_subgraph(g);
+  d.num *= 2;
+  return d;
+}
+
+Vertex mad_ceiling(const Graph& g) {
+  const DensestSubgraph mad = maximum_average_degree(g);
+  // ceil(num/den) with exact integers.
+  return static_cast<Vertex>((mad.num + mad.den - 1) / mad.den);
+}
+
+Vertex pseudoarboricity(const Graph& g) {
+  const DensestSubgraph d = densest_subgraph(g);
+  return static_cast<Vertex>((d.num + d.den - 1) / d.den);
+}
+
+Vertex arboricity_exact(const Graph& g) {
+  if (g.num_edges() == 0) return 0;
+  // a(G) = max_{H, |H|>=2} ceil(e_H / (v_H - 1)). Binary search the integer
+  // answer k: G has arboricity <= k iff for every nonempty S,
+  // e(S) <= k(|S|-1), i.e. for every forced vertex f,
+  // max_{S∋f} [e(S) − k(|S|−1)] <= 0.
+  const Vertex lo_start = pseudoarboricity(g);  // p <= a <= p+1
+  Vertex lo = lo_start, hi = lo_start + 1;
+  auto feasible = [&](std::int64_t k) {
+    for (Vertex f = 0; f < g.num_vertices(); ++f) {
+      if (g.degree(f) == 0) continue;
+      const auto r = max_edge_selection(g, 1, k, f);
+      if (r.best > 0) return false;
+    }
+    return true;
+  };
+  return feasible(lo) ? lo : hi;
+}
+
+double mad_bruteforce(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  SCOL_REQUIRE(n <= 20, + "bruteforce limited to n<=20");
+  double best = 0;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    Vertex v = 0;
+    std::int64_t e = 0;
+    for (Vertex i = 0; i < n; ++i) {
+      if (!(mask & (1u << i))) continue;
+      ++v;
+      for (Vertex j : g.neighbors(i))
+        if (j > i && (mask & (1u << j))) ++e;
+    }
+    best = std::max(best, 2.0 * static_cast<double>(e) / v);
+  }
+  return best;
+}
+
+Vertex arboricity_bruteforce(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  SCOL_REQUIRE(n <= 20, + "bruteforce limited to n<=20");
+  std::int64_t best = 0;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    Vertex v = 0;
+    std::int64_t e = 0;
+    for (Vertex i = 0; i < n; ++i) {
+      if (!(mask & (1u << i))) continue;
+      ++v;
+      for (Vertex j : g.neighbors(i))
+        if (j > i && (mask & (1u << j))) ++e;
+    }
+    if (v >= 2) best = std::max(best, (e + v - 2) / (v - 1));
+  }
+  return static_cast<Vertex>(best);
+}
+
+}  // namespace scol

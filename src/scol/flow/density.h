@@ -1,0 +1,58 @@
+// Exact sparseness measures: maximum average degree (mad, §1.2),
+// pseudoarboricity, and Nash–Williams arboricity (§1.3).
+//
+// mad(G) = max over subgraphs H of the average degree of H. The maximum is
+// attained on an induced subgraph, so mad(G) = 2 · max_S |E(S)|/|S| — the
+// densest-subgraph value — computed exactly via Goldberg's min-cut
+// reduction driven by Dinkelbach iterations (each iteration either proves
+// optimality of the current witness or strictly improves it).
+//
+// a(G) = max_H ceil(|E(H)|/(|V(H)|-1)) (Nash–Williams); we evaluate the
+// inner maximum with a forced-vertex variant of the same network.
+// Pseudoarboricity ceil(max density) satisfies p <= a <= p+1 and serves as
+// the scalable proxy on large inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+struct DensestSubgraph {
+  /// Exact density as a fraction: edges/vertices of the densest induced
+  /// subgraph (0/1 for edgeless graphs).
+  std::int64_t num = 0;
+  std::int64_t den = 1;
+  std::vector<Vertex> witness;  // vertex set attaining the density
+
+  double value() const {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+};
+
+/// Densest subgraph (max |E(S)|/|S|), exact.
+DensestSubgraph densest_subgraph(const Graph& g);
+
+/// mad(G) = 2 * densest density, exact as a fraction (num/den).
+DensestSubgraph maximum_average_degree(const Graph& g);
+
+/// Smallest integer d with mad(G) <= d (i.e. ceil(mad), but exact on
+/// integer boundaries: mad = 6 gives 6).
+Vertex mad_ceiling(const Graph& g);
+
+/// Pseudoarboricity: ceil(max |E(S)|/|S|).
+Vertex pseudoarboricity(const Graph& g);
+
+/// Exact Nash–Williams arboricity. Runs O(n log maxdeg) max-flows; intended
+/// for n up to a few thousand.
+Vertex arboricity_exact(const Graph& g);
+
+/// Brute-force mad over all induced subgraphs; n <= 20 (cross-check).
+double mad_bruteforce(const Graph& g);
+
+/// Brute-force Nash–Williams value; n <= 20 (cross-check).
+Vertex arboricity_bruteforce(const Graph& g);
+
+}  // namespace scol

@@ -1,0 +1,48 @@
+// Dinic max-flow with 64-bit integer capacities.
+//
+// Substrate for the exact maximum-average-degree / arboricity computations
+// (Goldberg's densest-subgraph reduction) and for bipartite matching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scol/util/check.h"
+
+namespace scol {
+
+class Dinic {
+ public:
+  using Cap = std::int64_t;
+  static constexpr Cap kInf = std::int64_t{1} << 60;
+
+  explicit Dinic(int num_nodes);
+
+  /// Adds a directed edge u->v with capacity cap; returns its id.
+  int add_edge(int u, int v, Cap cap);
+
+  /// Max flow from s to t. May be called once per instance.
+  Cap max_flow(int s, int t);
+
+  /// After max_flow: nodes reachable from s in the residual graph (the
+  /// source side of a minimum cut).
+  std::vector<char> min_cut_source_side(int s) const;
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Arc {
+    int to;
+    Cap cap;
+    int next;
+  };
+  bool bfs(int s, int t);
+  Cap dfs(int v, int t, Cap limit);
+
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace scol

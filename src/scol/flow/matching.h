@@ -1,0 +1,36 @@
+// Maximum bipartite matching (Hopcroft–Karp).
+//
+// Used for systems of distinct representatives: a K_{Δ+1} component with
+// Δ-lists is L-colorable iff the lists admit an SDR (Hall), which is a
+// perfect matching between vertices and colors (Corollary 2.1's "finds that
+// no such coloring exists" branch).
+#pragma once
+
+#include <vector>
+
+#include "scol/util/check.h"
+
+namespace scol {
+
+class BipartiteMatcher {
+ public:
+  BipartiteMatcher(int num_left, int num_right);
+
+  void add_edge(int left, int right);
+
+  /// Size of a maximum matching.
+  int solve();
+
+  /// After solve(): match of left vertex l, or -1.
+  int match_of_left(int l) const { return match_l_[static_cast<std::size_t>(l)]; }
+
+ private:
+  bool bfs();
+  bool dfs(int l);
+
+  int nl_, nr_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> match_l_, match_r_, dist_;
+};
+
+}  // namespace scol

@@ -1,0 +1,50 @@
+#include "scol/gen/circulant.h"
+
+namespace scol {
+
+Graph circulant(Vertex n, const std::vector<Vertex>& shifts) {
+  SCOL_REQUIRE(n >= 3);
+  GraphBuilder b(n);
+  for (Vertex s : shifts) {
+    SCOL_REQUIRE(s >= 1 && 2 * s <= n, + "shift out of range (1..n/2)");
+    // For 2s == n each edge arises twice; build() deduplicates.
+    for (Vertex i = 0; i < n; ++i) b.add_edge(i, (i + s) % n);
+  }
+  return b.build();
+}
+
+Graph cycle_power(Vertex n, Vertex k) {
+  SCOL_REQUIRE(k >= 1 && n >= 2 * k + 1);
+  std::vector<Vertex> shifts;
+  for (Vertex s = 1; s <= k; ++s) shifts.push_back(s);
+  return circulant(n, shifts);
+}
+
+Graph path_power(Vertex n, Vertex k) {
+  SCOL_REQUIRE(n >= 1 && k >= 1);
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex s = 1; s <= k && i + s < n; ++s) b.add_edge(i, i + s);
+  return b.build();
+}
+
+Vertex cycle_power_chromatic_number(Vertex n, Vertex k) {
+  SCOL_REQUIRE(n >= k * (k + 1), + "formula regime n >= k(k+1)");
+  const Vertex q = n / (k + 1);
+  return static_cast<Vertex>((n + q - 1) / q);
+}
+
+CombinatorialMap circulant_torus_map(Vertex n, Vertex m) {
+  SCOL_REQUIRE(m >= 2 && n >= 2 * m + 3,
+               + "need n >= 2m+3 so shifts 1, m, m+1 stay distinct");
+  std::vector<std::vector<Vertex>> rot(static_cast<std::size_t>(n));
+  auto at = [&](Vertex i, Vertex d) { return ((i + d) % n + n) % n; };
+  for (Vertex i = 0; i < n; ++i) {
+    rot[static_cast<std::size_t>(i)] = {at(i, 1),        at(i, m + 1),
+                                        at(i, m),        at(i, -1),
+                                        at(i, -(m + 1)), at(i, -m)};
+  }
+  return CombinatorialMap(n, std::move(rot));
+}
+
+}  // namespace scol

@@ -1,0 +1,37 @@
+// Circulant graphs, cycle powers, path powers, and the circulant torus
+// triangulations C_n(1, m, m+1).
+//
+// C_n(1,2,3) (the cube of a cycle) is this library's stand-in for Fisk's
+// Figure 3 gadget: a 6-regular triangulation of the torus with chi = 5
+// whenever n is not divisible by 4 (chi(C_n^k) = ceil(n / floor(n/(k+1)))),
+// whose balls of radius < (n-7)/6 are induced subgraphs of the planar path
+// power P^3. See DESIGN.md (substitution table) and Theorem 1.5.
+#pragma once
+
+#include "scol/graph/graph.h"
+#include "scol/surface/map.h"
+
+namespace scol {
+
+/// Circulant C_n(shifts): i ~ i +/- s for each shift s. Shifts must be in
+/// [1, n/2]; a shift of exactly n/2 contributes a single edge.
+Graph circulant(Vertex n, const std::vector<Vertex>& shifts);
+
+/// k-th power of the cycle C_n = circulant(n, {1..k}).
+Graph cycle_power(Vertex n, Vertex k);
+
+/// k-th power of the path P_n (vertices 0..n-1, edges |i-j| <= k). Planar
+/// for k <= 3 (a stacked strip triangulation when k == 3).
+Graph path_power(Vertex n, Vertex k);
+
+/// chi(C_n^k) by the cycle-power formula ceil(n / floor(n/(k+1))) (valid
+/// for n >= k(k+1); equals k+1 iff (k+1) | n). Cross-checked against the
+/// exact solver in tests.
+Vertex cycle_power_chromatic_number(Vertex n, Vertex k);
+
+/// The torus triangulation C_n(1, m, m+1) as a combinatorial map (rotation
+/// (+1, +(m+1), +m, -1, -(m+1), -m)). Requires n >= 2m+3 and m >= 2 so all
+/// six shifts are distinct.
+CombinatorialMap circulant_torus_map(Vertex n, Vertex m);
+
+}  // namespace scol

@@ -1,0 +1,59 @@
+#include "scol/gen/planar_random.h"
+
+#include <array>
+
+#include "scol/gen/lattice.h"
+
+namespace scol {
+
+Graph random_stacked_triangulation(Vertex n, Rng& rng) {
+  SCOL_REQUIRE(n >= 3);
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  std::vector<std::array<Vertex, 3>> faces{{0, 1, 2}, {0, 1, 2}};
+  // Two copies of the initial triangle: inserting into either side keeps
+  // the outer face available, matching a planar embedding of K_3.
+  for (Vertex v = 3; v < n; ++v) {
+    const std::size_t f = rng.below(faces.size());
+    const std::array<Vertex, 3> tri = faces[f];
+    faces.erase(faces.begin() + static_cast<std::ptrdiff_t>(f));
+    for (Vertex corner : tri) edges.emplace_back(corner, v);
+    faces.push_back({tri[0], tri[1], v});
+    faces.push_back({tri[1], tri[2], v});
+    faces.push_back({tri[0], tri[2], v});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph grid_random_diagonals(Vertex rows, Vertex cols, Rng& rng) {
+  SCOL_REQUIRE(rows >= 2 && cols >= 2);
+  GraphBuilder b(rows * cols);
+  for (Vertex i = 0; i < rows; ++i)
+    for (Vertex j = 0; j < cols; ++j) {
+      if (i + 1 < rows) b.add_edge(lattice_id(i, j, cols), lattice_id(i + 1, j, cols));
+      if (j + 1 < cols) b.add_edge(lattice_id(i, j, cols), lattice_id(i, j + 1, cols));
+      if (i + 1 < rows && j + 1 < cols) {
+        if (rng.chance(0.5))
+          b.add_edge(lattice_id(i, j, cols), lattice_id(i + 1, j + 1, cols));
+        else
+          b.add_edge(lattice_id(i + 1, j, cols), lattice_id(i, j + 1, cols));
+      }
+    }
+  return b.build();
+}
+
+Graph random_subhex(Vertex rows, Vertex cols, double p, Rng& rng) {
+  SCOL_REQUIRE(p >= 0.0 && p < 1.0);
+  const Graph hex = hex_patch(rows, cols);
+  std::vector<char> keep(static_cast<std::size_t>(hex.num_vertices()), 1);
+  for (auto&& k : keep)
+    if (rng.chance(p)) k = 0;
+  const InducedSubgraph sub = induce(hex, keep);
+  // Drop isolated vertices for tidiness.
+  std::vector<char> non_isolated(
+      static_cast<std::size_t>(sub.graph.num_vertices()), 1);
+  for (Vertex v = 0; v < sub.graph.num_vertices(); ++v)
+    if (sub.graph.degree(v) == 0) non_isolated[static_cast<std::size_t>(v)] = 0;
+  return induce(sub.graph, non_isolated).graph;
+}
+
+}  // namespace scol

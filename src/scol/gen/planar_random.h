@@ -1,0 +1,24 @@
+// Random planar generators: stacked (Apollonian) triangulations, grids with
+// random diagonals, and random vertex-deleted hex patches (girth >= 6).
+// These are the planar workloads of Corollary 2.3.
+#pragma once
+
+#include "scol/graph/graph.h"
+#include "scol/util/rng.h"
+
+namespace scol {
+
+/// Random stacked triangulation (planar 3-tree / Apollonian network) on n
+/// vertices: start from a triangle and repeatedly insert a vertex into a
+/// uniformly random face. Maximal planar (m = 3n - 6) for n >= 3.
+Graph random_stacked_triangulation(Vertex n, Rng& rng);
+
+/// rows x cols grid with a uniformly random diagonal in each unit square:
+/// a planar near-triangulation with irregular degrees (4..8 inside).
+Graph grid_random_diagonals(Vertex rows, Vertex cols, Rng& rng);
+
+/// Hex patch with each vertex independently deleted with probability p
+/// (then isolated vertices removed): planar, girth >= 6, mad < 3.
+Graph random_subhex(Vertex rows, Vertex cols, double p, Rng& rng);
+
+}  // namespace scol

@@ -1,0 +1,108 @@
+#include "scol/gen/special.h"
+
+#include <algorithm>
+
+namespace scol {
+
+Graph complete(Vertex n) {
+  SCOL_REQUIRE(n >= 1);
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_bipartite(Vertex a, Vertex b) {
+  SCOL_REQUIRE(a >= 1 && b >= 1);
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i < a; ++i)
+    for (Vertex j = 0; j < b; ++j) edges.emplace_back(i, a + j);
+  return Graph::from_edges(a + b, edges);
+}
+
+Graph cycle(Vertex n) {
+  SCOL_REQUIRE(n >= 3);
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i < n; ++i)
+    edges.emplace_back(std::min(i, (i + 1) % n), std::max(i, (i + 1) % n));
+  return Graph::from_edges(n, edges);
+}
+
+Graph path(Vertex n) {
+  SCOL_REQUIRE(n >= 1);
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, edges);
+}
+
+Graph star(Vertex leaves) {
+  SCOL_REQUIRE(leaves >= 1);
+  std::vector<Edge> edges;
+  for (Vertex i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return Graph::from_edges(leaves + 1, edges);
+}
+
+Graph petersen() {
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i < 5; ++i) {
+    edges.emplace_back(std::min(i, (i + 1) % 5), std::max(i, (i + 1) % 5));
+    edges.emplace_back(i, i + 5);
+    edges.emplace_back(std::min<Vertex>(5 + i, 5 + (i + 2) % 5),
+                       std::max<Vertex>(5 + i, 5 + (i + 2) % 5));
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Graph::from_edges(10, edges);
+}
+
+Graph heawood() {
+  // Standard construction: 14-cycle plus chords i -> i+5 for odd i.
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i < 14; ++i)
+    edges.emplace_back(std::min(i, (i + 1) % 14), std::max(i, (i + 1) % 14));
+  for (Vertex i = 1; i < 14; i += 2) {
+    const Vertex j = (i + 5) % 14;
+    edges.emplace_back(std::min(i, j), std::max(i, j));
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Graph::from_edges(14, edges);
+}
+
+Graph mcgee() {
+  // 24-cycle plus chords: i -> i+12 for i ≡ 0 (mod 3), i -> i+7 for the
+  // remaining vertices in the standard LCF notation [12, 7, -7]^8.
+  std::vector<Edge> edges;
+  auto add = [&](Vertex u, Vertex v) {
+    edges.emplace_back(std::min(u, v), std::max(u, v));
+  };
+  const int lcf[3] = {12, 7, -7};
+  for (Vertex i = 0; i < 24; ++i) {
+    add(i, (i + 1) % 24);
+    const int jump = lcf[i % 3];
+    add(i, static_cast<Vertex>(((i + jump) % 24 + 24) % 24));
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Graph::from_edges(24, edges);
+}
+
+Graph grotzsch() {
+  // Mycielskian of C_5: outer cycle 0..4, shadows 5..9, apex 10.
+  std::vector<Edge> edges;
+  auto add = [&](Vertex u, Vertex v) {
+    edges.emplace_back(std::min(u, v), std::max(u, v));
+  };
+  for (Vertex i = 0; i < 5; ++i) {
+    add(i, (i + 1) % 5);
+    add(static_cast<Vertex>(5 + i), (i + 1) % 5);
+    add(static_cast<Vertex>(5 + i), (i + 4) % 5);
+    add(static_cast<Vertex>(5 + i), 10);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Graph::from_edges(11, edges);
+}
+
+}  // namespace scol

@@ -1,0 +1,28 @@
+// Named small graphs: cages and classics used by the Moore-bound and
+// lower-bound experiments, plus complete / complete bipartite / paths /
+// cycles / stars.
+#pragma once
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+Graph complete(Vertex n);
+Graph complete_bipartite(Vertex a, Vertex b);
+Graph cycle(Vertex n);
+Graph path(Vertex n);
+Graph star(Vertex leaves);
+
+/// Petersen graph: (3,5)-cage, girth 5, chi = 3.
+Graph petersen();
+
+/// Heawood graph: (3,6)-cage, girth 6, bipartite.
+Graph heawood();
+
+/// McGee graph: (3,7)-cage, girth 7.
+Graph mcgee();
+
+/// Grötzsch graph: triangle-free, chi = 4 (the Mycielskian of C_5).
+Graph grotzsch();
+
+}  // namespace scol

@@ -1,0 +1,109 @@
+#include "scol/graph/cliques.h"
+
+#include <algorithm>
+
+namespace scol {
+
+DegeneracyOrder degeneracy_order(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  DegeneracyOrder out;
+  out.order.reserve(static_cast<std::size_t>(n));
+  out.position.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<Vertex> deg(static_cast<std::size_t>(n));
+  Vertex maxdeg = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    maxdeg = std::max(maxdeg, deg[v]);
+  }
+  // Bucket queue keyed by current degree. Vertices may appear in several
+  // buckets (stale entries); an entry is live iff deg[v] matches its bucket
+  // and v is not yet removed.
+  std::vector<std::vector<Vertex>> bucket(static_cast<std::size_t>(maxdeg) + 1);
+  for (Vertex v = 0; v < n; ++v)
+    bucket[static_cast<std::size_t>(deg[v])].push_back(v);
+  std::vector<char> removed(static_cast<std::size_t>(n), 0);
+
+  Vertex cursor = 0;
+  Vertex removed_count = 0;
+  while (removed_count < n) {
+    while (bucket[static_cast<std::size_t>(cursor)].empty()) ++cursor;
+    auto& b = bucket[static_cast<std::size_t>(cursor)];
+    const Vertex v = b.back();
+    b.pop_back();
+    if (removed[v] || deg[v] != cursor) continue;  // stale entry
+    removed[v] = 1;
+    ++removed_count;
+    out.degeneracy = std::max(out.degeneracy, cursor);
+    out.position[v] = static_cast<Vertex>(out.order.size());
+    out.order.push_back(v);
+    for (Vertex w : g.neighbors(v)) {
+      if (!removed[w]) {
+        --deg[w];
+        bucket[static_cast<std::size_t>(deg[w])].push_back(w);
+        if (deg[w] < cursor) cursor = deg[w];
+      }
+    }
+  }
+  SCOL_CHECK(static_cast<Vertex>(out.order.size()) == n,
+             + "degeneracy order incomplete");
+  return out;
+}
+
+bool is_clique(const Graph& g, const std::vector<Vertex>& vertices) {
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    for (std::size_t j = i + 1; j < vertices.size(); ++j)
+      if (!g.has_edge(vertices[i], vertices[j])) return false;
+  return true;
+}
+
+namespace {
+
+// Extends `chosen` by a clique of size `need` inside `candidates` (vertices
+// pairwise adjacency unknown); candidates are vertices adjacent to all of
+// `chosen`.
+bool extend_clique(const Graph& g, std::vector<Vertex>& chosen,
+                   std::vector<Vertex> candidates, Vertex need) {
+  if (need == 0) return true;
+  if (static_cast<Vertex>(candidates.size()) < need) return false;
+  while (!candidates.empty()) {
+    if (static_cast<Vertex>(candidates.size()) < need) return false;
+    const Vertex v = candidates.back();
+    candidates.pop_back();
+    std::vector<Vertex> next;
+    for (Vertex w : candidates)
+      if (g.has_edge(v, w)) next.push_back(w);
+    chosen.push_back(v);
+    if (extend_clique(g, chosen, std::move(next), need - 1)) return true;
+    chosen.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<Vertex>> find_clique(const Graph& g, Vertex size) {
+  SCOL_REQUIRE(size >= 1);
+  if (size == 1) {
+    if (g.num_vertices() == 0) return std::nullopt;
+    return std::vector<Vertex>{0};
+  }
+  const DegeneracyOrder d = degeneracy_order(g);
+  if (d.degeneracy < size - 1) return std::nullopt;  // K_size needs degeneracy >= size-1
+  for (Vertex v : d.order) {
+    // Candidates: neighbors later in the degeneracy order (at most
+    // `degeneracy` of them).
+    std::vector<Vertex> cand;
+    for (Vertex w : g.neighbors(v))
+      if (d.position[w] > d.position[v]) cand.push_back(w);
+    if (static_cast<Vertex>(cand.size()) < size - 1) continue;
+    std::vector<Vertex> chosen{v};
+    if (extend_clique(g, chosen, std::move(cand), size - 1)) {
+      std::sort(chosen.begin(), chosen.end());
+      return chosen;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace scol

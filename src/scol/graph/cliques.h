@@ -1,0 +1,36 @@
+// Degeneracy orders and bounded clique search.
+//
+// The main algorithm (Theorem 1.3) must either produce a d-list-coloring or
+// exhibit a (d+1)-clique; `find_clique` performs that search. In the LOCAL
+// model a K_{d+1} containing v lies inside the radius-1 ball of v, so the
+// distributed cost is 2 rounds (§3); the sequential search here uses the
+// degeneracy order so candidate sets stay small on sparse graphs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+struct DegeneracyOrder {
+  /// Vertices in removal order (each has minimum degree at removal time).
+  std::vector<Vertex> order;
+  /// Position of each vertex in `order`.
+  std::vector<Vertex> position;
+  /// The graph's degeneracy (max removal-time degree).
+  Vertex degeneracy = 0;
+};
+
+/// Bucket-queue degeneracy order, O(n + m).
+DegeneracyOrder degeneracy_order(const Graph& g);
+
+/// Finds a clique on exactly `size` vertices, or nullopt. Exponential only
+/// in the graph's degeneracy.
+std::optional<std::vector<Vertex>> find_clique(const Graph& g, Vertex size);
+
+/// True iff `vertices` induce a clique in g.
+bool is_clique(const Graph& g, const std::vector<Vertex>& vertices);
+
+}  // namespace scol

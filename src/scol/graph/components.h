@@ -1,0 +1,27 @@
+// Connected components.
+#pragma once
+
+#include <vector>
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+struct Components {
+  /// component id of each vertex (0..count-1).
+  std::vector<Vertex> id;
+  Vertex count = 0;
+
+  /// Vertex lists per component.
+  std::vector<std::vector<Vertex>> groups() const;
+};
+
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Is the graph connected after removing the vertices in `removed` (mask)?
+/// An empty remaining vertex set counts as connected.
+bool is_connected_without(const Graph& g, const std::vector<char>& removed);
+
+}  // namespace scol

@@ -1,0 +1,23 @@
+#include "scol/graph/gallai.h"
+
+#include "scol/graph/components.h"
+
+namespace scol {
+
+bool all_blocks_clique_or_odd_cycle(const BlockDecomposition& d) {
+  for (const Block& b : d.blocks)
+    if (!block_is_clique(b) && !block_is_odd_cycle(b)) return false;
+  return true;
+}
+
+bool is_gallai_tree(const Graph& g) {
+  if (g.num_vertices() <= 1) return true;
+  if (!is_connected(g)) return false;
+  return all_blocks_clique_or_odd_cycle(block_decomposition(g));
+}
+
+bool is_gallai_forest(const Graph& g) {
+  return all_blocks_clique_or_odd_cycle(block_decomposition(g));
+}
+
+}  // namespace scol

@@ -1,0 +1,25 @@
+// Gallai-tree recognition (paper §1.4, Figure 1).
+//
+// A Gallai tree is a connected graph in which every block is a clique or an
+// odd cycle. The paper's happy-vertex definition (§3) asks whether the ball
+// B_R(v) induces a Gallai tree; Theorem 1.1 (Borodin, Erdős–Rubin–Taylor)
+// makes connected non-Gallai-trees degree-list-colorable.
+#pragma once
+
+#include "scol/graph/blocks.h"
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// True iff `g` is connected and every block is a clique or an odd cycle.
+/// The empty graph and K_1 count as Gallai trees (they have no block).
+bool is_gallai_tree(const Graph& g);
+
+/// True iff every connected component is a Gallai tree.
+bool is_gallai_forest(const Graph& g);
+
+/// True iff every block of `g` is a clique or odd cycle (ignores
+/// connectivity) — the block-local Gallai property.
+bool all_blocks_clique_or_odd_cycle(const BlockDecomposition& d);
+
+}  // namespace scol

@@ -1,0 +1,53 @@
+#include "scol/graph/girth.h"
+
+#include <deque>
+
+namespace scol {
+
+Vertex girth(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  Vertex best = -1;
+  std::vector<Vertex> dist(static_cast<std::size_t>(n));
+  std::vector<Vertex> parent(static_cast<std::size_t>(n));
+  for (Vertex s = 0; s < n; ++s) {
+    // BFS from s; a non-tree edge (u, w) closes a cycle through s of length
+    // dist[u] + dist[w] + 1 (exact when u, w are on shortest paths from s,
+    // which BFS guarantees; minimizing over all s gives the girth).
+    std::fill(dist.begin(), dist.end(), -1);
+    std::deque<Vertex> queue{s};
+    dist[s] = 0;
+    parent[s] = -1;
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop_front();
+      if (best >= 0 && 2 * dist[u] >= best) break;  // cannot improve
+      for (Vertex w : g.neighbors(u)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[u] + 1;
+          parent[w] = u;
+          queue.push_back(w);
+        } else if (w != parent[u]) {
+          const Vertex len = dist[u] + dist[w] + 1;
+          if (best < 0 || len < best) best = len;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+bool triangle_free(const Graph& g) {
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nb = g.neighbors(u);
+    for (Vertex v : nb) {
+      if (v <= u) continue;
+      for (Vertex w : nb) {
+        if (w <= v) continue;
+        if (g.has_edge(v, w)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace scol

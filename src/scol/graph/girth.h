@@ -1,0 +1,15 @@
+// Girth (length of a shortest cycle); returns -1 for forests ("infinite").
+// Used by Proposition 2.2 / Corollary 4.2 experiments and generator tests.
+#pragma once
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// Exact girth via BFS from every vertex; O(n·m). -1 if acyclic.
+Vertex girth(const Graph& g);
+
+/// True iff no triangle exists (girth > 3 or acyclic).
+bool triangle_free(const Graph& g);
+
+}  // namespace scol

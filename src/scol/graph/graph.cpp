@@ -1,0 +1,133 @@
+#include "scol/graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scol {
+
+Graph Graph::from_edges(Vertex n, const std::vector<Edge>& edges) {
+  SCOL_REQUIRE(n >= 0);
+  Graph g;
+  g.n_ = n;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  std::vector<Edge> norm;
+  norm.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    SCOL_REQUIRE(u >= 0 && u < n && v >= 0 && v < n, + "endpoint range");
+    SCOL_REQUIRE(u != v, + "self-loop");
+    norm.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(norm.begin(), norm.end());
+  for (std::size_t i = 1; i < norm.size(); ++i)
+    SCOL_REQUIRE(norm[i] != norm[i - 1], + "duplicate edge");
+
+  for (const auto& [u, v] : norm) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (Vertex v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  g.adj_.resize(norm.size() * 2);
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : norm) {
+    g.adj_[static_cast<std::size_t>(cursor[u]++)] = v;
+    g.adj_[static_cast<std::size_t>(cursor[v]++)] = u;
+  }
+  // Sorted input edges + two-pass fill keeps each adjacency list sorted,
+  // except that for a vertex w the neighbors smaller than w are appended
+  // after larger ones were... they are not: edges are sorted by (min,max),
+  // so for w we first see edges where w is the max (neighbor = min, sorted
+  // ascending) and later edges where w is the min (neighbor = max, sorted
+  // ascending). The concatenation is NOT sorted overall, so sort each list.
+  for (Vertex v = 0; v < n; ++v) {
+    std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1]);
+  }
+  return g;
+}
+
+Vertex Graph::max_degree() const {
+  Vertex d = 0;
+  for (Vertex v = 0; v < n_; ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  SCOL_DCHECK(valid(u) && valid(v));
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(num_edges()));
+  for (Vertex u = 0; u < n_; ++u)
+    for (Vertex v : neighbors(u))
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+Graph GraphBuilder::build() const {
+  std::vector<Edge> norm = edges_;
+  std::sort(norm.begin(), norm.end());
+  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+  return Graph::from_edges(n_, norm);
+}
+
+InducedSubgraph induce(const Graph& g, const std::vector<char>& keep) {
+  SCOL_REQUIRE(static_cast<Vertex>(keep.size()) == g.num_vertices());
+  InducedSubgraph out;
+  out.to_induced.assign(keep.size(), -1);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (keep[v]) {
+      out.to_induced[v] = static_cast<Vertex>(out.to_original.size());
+      out.to_original.push_back(v);
+    }
+  }
+  std::vector<Edge> edges;
+  for (Vertex v : out.to_original)
+    for (Vertex w : g.neighbors(v))
+      if (v < w && keep[w]) edges.emplace_back(out.to_induced[v], out.to_induced[w]);
+  out.graph = Graph::from_edges(static_cast<Vertex>(out.to_original.size()), edges);
+  return out;
+}
+
+InducedSubgraph induce(const Graph& g, const std::vector<Vertex>& vertices) {
+  std::vector<char> keep(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (Vertex v : vertices) {
+    SCOL_REQUIRE(g.valid(v));
+    SCOL_REQUIRE(!keep[v], + "duplicate vertex in induce()");
+    keep[v] = 1;
+  }
+  return induce(g, keep);
+}
+
+Graph permute(const Graph& g, const std::vector<Vertex>& perm) {
+  SCOL_REQUIRE(static_cast<Vertex>(perm.size()) == g.num_vertices());
+  std::vector<char> seen(perm.size(), 0);
+  for (Vertex p : perm) {
+    SCOL_REQUIRE(p >= 0 && p < g.num_vertices() && !seen[p],
+                 + "perm must be a permutation");
+    seen[p] = 1;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (const auto& [u, v] : g.edges()) edges.emplace_back(perm[u], perm[v]);
+  return Graph::from_edges(g.num_vertices(), edges);
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  std::vector<Edge> edges = a.edges();
+  const Vertex shift = a.num_vertices();
+  for (const auto& [u, v] : b.edges()) edges.emplace_back(u + shift, v + shift);
+  return Graph::from_edges(a.num_vertices() + b.num_vertices(), edges);
+}
+
+std::string describe(const Graph& g) {
+  std::ostringstream os;
+  os << "n=" << g.num_vertices() << " m=" << g.num_edges()
+     << " maxdeg=" << g.max_degree() << " avgdeg=" << g.average_degree();
+  return os.str();
+}
+
+}  // namespace scol

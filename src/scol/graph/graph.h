@@ -1,0 +1,126 @@
+// Immutable simple undirected graph in CSR (compressed sparse row) form.
+//
+// Vertices are 0..n-1. The LOCAL model's "unique identifier" of a vertex is
+// its index (an integer in [1, n] in the paper; we use [0, n)). Parallel
+// edges and self-loops are rejected; adjacency lists are sorted, so
+// `has_edge` is O(log deg) and neighbor iteration is cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scol/util/check.h"
+
+namespace scol {
+
+using Vertex = std::int32_t;
+using Edge = std::pair<Vertex, Vertex>;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph on n vertices from an edge list. Throws
+  /// PreconditionError on self-loops, duplicate edges, or out-of-range
+  /// endpoints.
+  static Graph from_edges(Vertex n, const std::vector<Edge>& edges);
+
+  Vertex num_vertices() const { return n_; }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(adj_.size()) / 2;
+  }
+
+  Vertex degree(Vertex v) const {
+    SCOL_DCHECK(valid(v));
+    return static_cast<Vertex>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  Vertex max_degree() const;
+
+  /// Average degree 2|E|/|V| (0 for the empty graph), as in the paper §1.2.
+  double average_degree() const {
+    return n_ == 0 ? 0.0
+                   : 2.0 * static_cast<double>(num_edges()) /
+                         static_cast<double>(n_);
+  }
+
+  std::span<const Vertex> neighbors(Vertex v) const {
+    SCOL_DCHECK(valid(v));
+    return {adj_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  bool has_edge(Vertex u, Vertex v) const;
+
+  /// All edges with u < v, in CSR order.
+  std::vector<Edge> edges() const;
+
+  bool valid(Vertex v) const { return v >= 0 && v < n_; }
+
+ private:
+  Vertex n_ = 0;
+  std::vector<std::int64_t> offsets_{0};  // size n_+1
+  std::vector<Vertex> adj_;               // size 2|E|, sorted per vertex
+};
+
+/// Incremental edge-set builder; deduplicates on build.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vertex n) : n_(n) { SCOL_REQUIRE(n >= 0); }
+
+  /// Adds edge {u, v}; duplicates are merged at build() time. Self-loops are
+  /// rejected immediately.
+  void add_edge(Vertex u, Vertex v) {
+    SCOL_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_, + "endpoint range");
+    SCOL_REQUIRE(u != v, + "self-loop");
+    edges_.emplace_back(std::min(u, v), std::max(u, v));
+  }
+
+  bool has_recorded_edge(Vertex u, Vertex v) const {
+    Edge e{std::min(u, v), std::max(u, v)};
+    for (const auto& f : edges_)
+      if (f == e) return true;
+    return false;
+  }
+
+  Vertex num_vertices() const { return n_; }
+
+  /// Builds the graph, deduplicating edges.
+  Graph build() const;
+
+ private:
+  Vertex n_;
+  std::vector<Edge> edges_;
+};
+
+/// Result of taking an induced subgraph: the graph plus the map from new
+/// vertex ids to the original ids (new id i corresponds to original
+/// `to_original[i]`).
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<Vertex> to_original;
+  /// original -> new id, or -1 if the original vertex was dropped.
+  std::vector<Vertex> to_induced;
+};
+
+/// Induced subgraph on `keep` (mask of size n, nonzero = keep).
+InducedSubgraph induce(const Graph& g, const std::vector<char>& keep);
+
+/// Induced subgraph on an explicit vertex set (need not be sorted; must not
+/// contain duplicates).
+InducedSubgraph induce(const Graph& g, const std::vector<Vertex>& vertices);
+
+/// Relabels vertices by `perm` (new id of v is perm[v]); perm must be a
+/// permutation of 0..n-1. Used for ID-robustness tests.
+Graph permute(const Graph& g, const std::vector<Vertex>& perm);
+
+/// Disjoint union of two graphs (vertices of b shifted by a.num_vertices()).
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// Human-readable one-line summary ("n=.. m=.. maxdeg=..").
+std::string describe(const Graph& g);
+
+}  // namespace scol

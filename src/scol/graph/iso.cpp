@@ -1,0 +1,165 @@
+#include "scol/graph/iso.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace scol {
+namespace {
+
+// One round of 1-WL color refinement on both graphs simultaneously (shared
+// color space so classes are comparable across graphs).
+struct Refinement {
+  std::vector<Vertex> color_a, color_b;
+  Vertex num_colors = 0;
+};
+
+Refinement refine(const Graph& a, const Graph& b,
+                  std::vector<Vertex> color_a, std::vector<Vertex> color_b) {
+  for (;;) {
+    std::map<std::pair<Vertex, std::vector<Vertex>>, Vertex> signature_ids;
+    auto signature_of = [&](const Graph& g, const std::vector<Vertex>& color,
+                            Vertex v) {
+      std::vector<Vertex> nb_colors;
+      nb_colors.reserve(g.neighbors(v).size());
+      for (Vertex w : g.neighbors(v)) nb_colors.push_back(color[w]);
+      std::sort(nb_colors.begin(), nb_colors.end());
+      return std::make_pair(color[v], std::move(nb_colors));
+    };
+    std::vector<Vertex> next_a(color_a.size()), next_b(color_b.size());
+    for (Vertex v = 0; v < a.num_vertices(); ++v) {
+      auto sig = signature_of(a, color_a, v);
+      auto [it, inserted] = signature_ids.try_emplace(
+          std::move(sig), static_cast<Vertex>(signature_ids.size()));
+      next_a[v] = it->second;
+    }
+    for (Vertex v = 0; v < b.num_vertices(); ++v) {
+      auto sig = signature_of(b, color_b, v);
+      auto [it, inserted] = signature_ids.try_emplace(
+          std::move(sig), static_cast<Vertex>(signature_ids.size()));
+      next_b[v] = it->second;
+    }
+    const auto count_colors = [](const std::vector<Vertex>& c) {
+      return c.empty() ? 0 : *std::max_element(c.begin(), c.end()) + 1;
+    };
+    const Vertex before =
+        std::max(count_colors(color_a), count_colors(color_b));
+    const Vertex after = static_cast<Vertex>(signature_ids.size());
+    color_a = std::move(next_a);
+    color_b = std::move(next_b);
+    if (after == before) {
+      return {std::move(color_a), std::move(color_b), after};
+    }
+    if (after >= a.num_vertices() && after >= b.num_vertices()) {
+      return {std::move(color_a), std::move(color_b), after};
+    }
+  }
+}
+
+struct Matcher {
+  const Graph& a;
+  const Graph& b;
+  const std::vector<Vertex>& color_a;
+  const std::vector<Vertex>& color_b;
+  std::vector<Vertex> map_ab;   // a -> b or -1
+  std::vector<Vertex> map_ba;   // b -> a or -1
+  std::vector<Vertex> order;    // vertices of a in matching order
+
+  bool solve(std::size_t idx) {
+    if (idx == order.size()) return true;
+    const Vertex u = order[idx];
+    for (Vertex v = 0; v < b.num_vertices(); ++v) {
+      if (map_ba[v] >= 0 || color_b[v] != color_a[u]) continue;
+      if (!consistent(u, v)) continue;
+      map_ab[u] = v;
+      map_ba[v] = u;
+      if (solve(idx + 1)) return true;
+      map_ab[u] = -1;
+      map_ba[v] = -1;
+    }
+    return false;
+  }
+
+  bool consistent(Vertex u, Vertex v) const {
+    if (a.degree(u) != b.degree(v)) return false;
+    // Every already-mapped neighbor of u must map to a neighbor of v, and
+    // non-neighbors must stay non-neighbors (checked from v's side too).
+    for (Vertex w : a.neighbors(u)) {
+      if (map_ab[w] >= 0 && !b.has_edge(v, map_ab[w])) return false;
+    }
+    for (Vertex x : b.neighbors(v)) {
+      if (map_ba[x] >= 0 && !a.has_edge(u, map_ba[x])) return false;
+    }
+    // Count mapped neighbors symmetrically: u's mapped neighbors must be
+    // exactly the preimages of v's mapped neighbors.
+    Vertex cnt_a = 0, cnt_b = 0;
+    for (Vertex w : a.neighbors(u))
+      if (map_ab[w] >= 0) ++cnt_a;
+    for (Vertex x : b.neighbors(v))
+      if (map_ba[x] >= 0) ++cnt_b;
+    return cnt_a == cnt_b;
+  }
+};
+
+std::optional<std::vector<Vertex>> match_with_colors(
+    const Graph& a, const Graph& b, std::vector<Vertex> init_a,
+    std::vector<Vertex> init_b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges())
+    return std::nullopt;
+  auto ref = refine(a, b, std::move(init_a), std::move(init_b));
+  // Class size histograms must agree.
+  std::vector<Vertex> ha(static_cast<std::size_t>(ref.num_colors), 0),
+      hb(static_cast<std::size_t>(ref.num_colors), 0);
+  for (Vertex c : ref.color_a) ++ha[static_cast<std::size_t>(c)];
+  for (Vertex c : ref.color_b) ++hb[static_cast<std::size_t>(c)];
+  if (ha != hb) return std::nullopt;
+
+  Matcher m{a, b, ref.color_a, ref.color_b,
+            std::vector<Vertex>(static_cast<std::size_t>(a.num_vertices()), -1),
+            std::vector<Vertex>(static_cast<std::size_t>(b.num_vertices()), -1),
+            {}};
+  // Match rare color classes first, BFS-style from already ordered vertices
+  // is implicit via the consistency pruning; simple class-size order works
+  // well for the structured balls we compare.
+  m.order.resize(static_cast<std::size_t>(a.num_vertices()));
+  std::iota(m.order.begin(), m.order.end(), 0);
+  std::sort(m.order.begin(), m.order.end(), [&](Vertex x, Vertex y) {
+    const Vertex cx = ha[static_cast<std::size_t>(ref.color_a[x])];
+    const Vertex cy = ha[static_cast<std::size_t>(ref.color_a[y])];
+    if (cx != cy) return cx < cy;
+    return x < y;
+  });
+  if (!m.solve(0)) return std::nullopt;
+  return m.map_ab;
+}
+
+}  // namespace
+
+std::optional<std::vector<Vertex>> isomorphism(const Graph& a, const Graph& b) {
+  return match_with_colors(
+      a, b, std::vector<Vertex>(static_cast<std::size_t>(a.num_vertices()), 0),
+      std::vector<Vertex>(static_cast<std::size_t>(b.num_vertices()), 0));
+}
+
+std::optional<std::vector<Vertex>> rooted_isomorphism(const Graph& a,
+                                                      Vertex root_a,
+                                                      const Graph& b,
+                                                      Vertex root_b) {
+  SCOL_REQUIRE(a.valid(root_a) && b.valid(root_b));
+  std::vector<Vertex> ia(static_cast<std::size_t>(a.num_vertices()), 0);
+  std::vector<Vertex> ib(static_cast<std::size_t>(b.num_vertices()), 0);
+  ia[root_a] = 1;
+  ib[root_b] = 1;
+  return match_with_colors(a, b, std::move(ia), std::move(ib));
+}
+
+bool is_isomorphic(const Graph& a, const Graph& b) {
+  return isomorphism(a, b).has_value();
+}
+
+bool is_rooted_isomorphic(const Graph& a, Vertex root_a, const Graph& b,
+                          Vertex root_b) {
+  return rooted_isomorphism(a, root_a, b, root_b).has_value();
+}
+
+}  // namespace scol

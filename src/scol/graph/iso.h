@@ -1,0 +1,32 @@
+// Graph isomorphism for small graphs (balls), via iterative color
+// refinement (1-WL) plus backtracking search.
+//
+// Used by the Observation 2.4 machinery: a deterministic r-round LOCAL
+// algorithm's output at v is a function of the labelled radius-r ball of v,
+// so exhibiting graphs whose balls are pairwise isomorphic (rooted, i.e.
+// center-preserving) transfers impossibility results between graph classes
+// (Theorems 1.5, 2.5, 2.6).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// Isomorphism test; returns a mapping a->b if isomorphic.
+std::optional<std::vector<Vertex>> isomorphism(const Graph& a, const Graph& b);
+
+/// Rooted isomorphism: requires root_a to map to root_b (the natural notion
+/// for balls viewed from their center).
+std::optional<std::vector<Vertex>> rooted_isomorphism(const Graph& a,
+                                                      Vertex root_a,
+                                                      const Graph& b,
+                                                      Vertex root_b);
+
+bool is_isomorphic(const Graph& a, const Graph& b);
+bool is_rooted_isomorphic(const Graph& a, Vertex root_a, const Graph& b,
+                          Vertex root_b);
+
+}  // namespace scol

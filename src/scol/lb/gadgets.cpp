@@ -1,0 +1,123 @@
+#include "scol/lb/gadgets.h"
+
+#include <algorithm>
+
+#include "scol/coloring/exact.h"
+#include "scol/gen/circulant.h"
+#include "scol/gen/lattice.h"
+#include "scol/graph/bfs.h"
+#include "scol/graph/girth.h"
+#include "scol/lb/indist.h"
+#include "scol/planarity/planarity.h"
+#include "scol/surface/map.h"
+
+namespace scol {
+namespace {
+
+bool is_bipartite(const Graph& g) {
+  std::vector<Vertex> side(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    if (side[static_cast<std::size_t>(s)] >= 0) continue;
+    side[static_cast<std::size_t>(s)] = 0;
+    std::vector<Vertex> queue{s};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex u = queue[head];
+      for (Vertex w : g.neighbors(u)) {
+        if (side[static_cast<std::size_t>(w)] < 0) {
+          side[static_cast<std::size_t>(w)] =
+              1 - side[static_cast<std::size_t>(u)];
+          queue.push_back(w);
+        } else if (side[static_cast<std::size_t>(w)] ==
+                   side[static_cast<std::size_t>(u)]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Theorem15Report verify_theorem15_gadget(Vertex n, bool run_exact_chi) {
+  SCOL_REQUIRE(n >= 9);
+  Theorem15Report rep;
+  rep.n = n;
+  rep.chi_formula = cycle_power_chromatic_number(n, 3);
+
+  const CombinatorialMap map = circulant_torus_map(n, 2);
+  rep.toroidal = (map.genus() == 1);
+  rep.triangulation = map.is_triangulation();
+
+  const Graph g = map.graph();
+  // Balls of radius r live on a cyclic window of 6r+1 vertices; they are
+  // induced subgraphs of the planar path power P^3 iff no wrap chord
+  // appears, i.e. n - 6r >= 4.
+  rep.ball_radius_checked = std::max<Vertex>(1, (n - 4) / 6);
+  // The graph is vertex-transitive (circulant): checking one center
+  // suffices, but we sample a few to exercise the machinery.
+  std::vector<Vertex> centers{0, n / 3, (2 * n) / 3};
+  rep.balls_planar = balls_are_planar(g, centers, rep.ball_radius_checked);
+  rep.implied_round_lower_bound =
+      rep.ball_radius_checked > 0 ? rep.ball_radius_checked - 1 : 0;
+
+  if (run_exact_chi) rep.chi_exact = chromatic_number(g);
+  return rep;
+}
+
+KleinGridReport verify_klein_gadget(Vertex k, Vertex l, Vertex iso_radius,
+                                    bool run_exact_chi) {
+  KleinGridReport rep;
+  rep.k = k;
+  rep.l = l;
+  const Graph g = klein_grid(k, l);
+  rep.bipartite = is_bipartite(g);
+
+  // Compare balls against a big planar grid's central region.
+  rep.ball_radius_checked = std::min<Vertex>(iso_radius, std::min(k, l) / 2 - 1);
+  if (rep.ball_radius_checked >= 1) {
+    const Vertex side = 2 * rep.ball_radius_checked + 3;
+    const Graph target = grid(side, side);
+    const Vertex center = lattice_id(side / 2, side / 2, side);
+    std::vector<Vertex> h_centers;
+    for (Vertex i = 0; i < k; i += std::max<Vertex>(1, k / 3))
+      for (Vertex j = 0; j < l; j += std::max<Vertex>(1, l / 3))
+        h_centers.push_back(lattice_id(i, j, l));
+    rep.balls_match_planar_grid =
+        balls_embed_into(g, h_centers, target, {center}, rep.ball_radius_checked);
+    rep.implied_round_lower_bound = rep.ball_radius_checked - 1;
+  }
+  if (run_exact_chi) rep.chi_exact = chromatic_number(g);
+  return rep;
+}
+
+TriangleFreeReport verify_triangle_free_gadget(Vertex l, Vertex iso_radius,
+                                               bool run_exact_chi) {
+  TriangleFreeReport rep;
+  rep.l = l;
+  const Graph g = klein_grid(5, l);
+
+  const Graph cyl = cylinder(5, 2 * l + 5);
+  rep.cylinder_planar = is_planar(cyl);
+  rep.cylinder_triangle_free = triangle_free(cyl);
+
+  rep.ball_radius_checked = std::min<Vertex>(iso_radius, l / 2 - 1);
+  if (rep.ball_radius_checked >= 1) {
+    // Target centers: a column in the middle of the cylinder.
+    std::vector<Vertex> target_centers;
+    const Vertex mid_col = (2 * l + 5) / 2;
+    for (Vertex i = 0; i < 5; ++i)
+      target_centers.push_back(lattice_id(i, mid_col, 2 * l + 5));
+    std::vector<Vertex> h_centers;
+    for (Vertex i = 0; i < 5; ++i)
+      for (Vertex j = 0; j < l; j += std::max<Vertex>(1, l / 4))
+        h_centers.push_back(lattice_id(i, j, l));
+    rep.balls_match_cylinder = balls_embed_into(
+        g, h_centers, cyl, target_centers, rep.ball_radius_checked);
+    rep.implied_round_lower_bound = rep.ball_radius_checked - 1;
+  }
+  if (run_exact_chi) rep.chi_exact = chromatic_number(g);
+  return rep;
+}
+
+}  // namespace scol

@@ -1,0 +1,56 @@
+// Verified lower-bound gadgets (Theorems 1.5, 2.5, 2.6; Figures 2 and 3).
+//
+// Each report bundles the computationally verified premises of
+// Observation 2.4 and the implied round lower bound. See DESIGN.md for the
+// C_n(1,2,3) substitution standing in for Fisk's triangulation.
+#pragma once
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// Theorem 1.5 gadget: the toroidal triangulation C_n(1,2,3) with
+/// chi = 5 for n not divisible by 4 and planar o(n)-radius balls.
+struct Theorem15Report {
+  Vertex n = 0;
+  Vertex chi_formula = 0;      // ceil(n / floor(n/4))
+  Vertex chi_exact = -1;       // exact solver (if run)
+  bool toroidal = false;       // rotation system traces to genus 1
+  bool triangulation = false;  // all faces triangles
+  Vertex ball_radius_checked = 0;
+  bool balls_planar = false;
+  /// Rounds below which no algorithm 4-colors graphs with these balls
+  /// (= ball_radius_checked - 1 per Observation 2.4).
+  Vertex implied_round_lower_bound = 0;
+};
+Theorem15Report verify_theorem15_gadget(Vertex n, bool run_exact_chi);
+
+/// Theorem 2.6 gadget (Figure 2 left): Klein-bottle quadrangulation
+/// G_{k,l} (k, l odd) is 4-chromatic while its balls match planar-grid
+/// balls.
+struct KleinGridReport {
+  Vertex k = 0, l = 0;
+  Vertex chi_exact = -1;      // 4 expected for odd k, l (Gallai)
+  bool bipartite = false;     // false expected for odd k, l
+  Vertex ball_radius_checked = 0;
+  bool balls_match_planar_grid = false;
+  Vertex implied_round_lower_bound = 0;
+};
+KleinGridReport verify_klein_gadget(Vertex k, Vertex l, Vertex iso_radius,
+                                    bool run_exact_chi);
+
+/// Theorem 2.5 gadget: G_{5, l} (l odd) with balls matching the planar
+/// triangle-free cylinder C_5 x P (the role of H_{2l} in Figure 2 right).
+struct TriangleFreeReport {
+  Vertex l = 0;
+  Vertex chi_exact = -1;  // 4 expected
+  bool cylinder_planar = false;
+  bool cylinder_triangle_free = false;
+  Vertex ball_radius_checked = 0;
+  bool balls_match_cylinder = false;
+  Vertex implied_round_lower_bound = 0;
+};
+TriangleFreeReport verify_triangle_free_gadget(Vertex l, Vertex iso_radius,
+                                               bool run_exact_chi);
+
+}  // namespace scol

@@ -1,0 +1,31 @@
+// Ball-collection oracle.
+//
+// In the LOCAL model, learning the labelled ball B_r(v) takes exactly r
+// rounds (flood your current knowledge every round). The oracle computes
+// balls centrally by BFS — the semantics are identical (tests compare it
+// against the engine-based flooding program) — and charges r rounds once
+// per *parallel* collection: all nodes collect their balls simultaneously,
+// so one collection costs r rounds regardless of n.
+#pragma once
+
+#include <vector>
+
+#include "scol/graph/graph.h"
+#include "scol/local/ledger.h"
+
+namespace scol {
+
+/// Engine-based reference implementation (tests): after `radius` rounds of
+/// flooding, node v knows exactly the vertex set of B_radius(v).
+std::vector<std::vector<Vertex>> flood_balls_engine(const Graph& g, int radius,
+                                                    RoundLedger* ledger);
+
+/// Charges `radius` rounds under `phase` for one simultaneous ball
+/// collection and returns nothing; callers then use graph::ball /
+/// ball_within freely for that radius (local computation is free).
+inline void charge_ball_collection(RoundLedger& ledger, int radius,
+                                   const std::string& phase) {
+  ledger.charge(phase, radius);
+}
+
+}  // namespace scol

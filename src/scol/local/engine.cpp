@@ -1,0 +1,35 @@
+// The engine itself is header-only (templates); this translation unit hosts
+// a reference flooding program used to validate the engine against the ball
+// oracle (Linial's r-round = radius-r-ball equivalence).
+#include "scol/local/engine.h"
+
+#include <algorithm>
+
+namespace scol {
+
+std::vector<std::vector<Vertex>> flood_balls_engine(const Graph& g,
+                                                    int radius,
+                                                    RoundLedger* ledger) {
+  // State: the set of vertex ids known so far (sorted). Each round a node
+  // merges its neighbors' sets — after r rounds it knows exactly B_r(v).
+  using State = std::vector<Vertex>;
+  std::vector<State> init;
+  init.reserve(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) init.push_back({v});
+  auto out = run_synchronous(
+      g, std::move(init), radius,
+      [](Vertex, const State& self, NeighborStates<State> nb) {
+        State merged = self;
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          const State& s = nb.state(i);
+          merged.insert(merged.end(), s.begin(), s.end());
+        }
+        std::sort(merged.begin(), merged.end());
+        merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+        return merged;
+      },
+      ledger, "flood-balls");
+  return out;
+}
+
+}  // namespace scol

@@ -1,0 +1,50 @@
+#include "scol/local/validate.h"
+
+#include <sstream>
+
+namespace scol {
+
+void expect_proper(const Graph& g, const Coloring& c) {
+  SCOL_REQUIRE(static_cast<Vertex>(c.size()) == g.num_vertices(),
+               + "coloring size mismatch");
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (c[static_cast<std::size_t>(v)] == kUncolored) {
+      std::ostringstream os;
+      os << "vertex " << v << " left uncolored";
+      throw InternalError(os.str());
+    }
+    for (Vertex w : g.neighbors(v)) {
+      if (w > v && c[static_cast<std::size_t>(v)] == c[static_cast<std::size_t>(w)]) {
+        std::ostringstream os;
+        os << "edge (" << v << "," << w << ") monochromatic with color "
+           << c[static_cast<std::size_t>(v)];
+        throw InternalError(os.str());
+      }
+    }
+  }
+}
+
+void expect_proper_list_coloring(const Graph& g, const Coloring& c,
+                                 const ListAssignment& lists) {
+  expect_proper(g, c);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (!list_contains(lists.of(v), c[static_cast<std::size_t>(v)])) {
+      std::ostringstream os;
+      os << "vertex " << v << " colored " << c[static_cast<std::size_t>(v)]
+         << " outside its list";
+      throw InternalError(os.str());
+    }
+  }
+}
+
+void expect_proper_with_at_most(const Graph& g, const Coloring& c, Vertex k) {
+  expect_proper(g, c);
+  const Vertex used = count_colors(c);
+  if (used > k) {
+    std::ostringstream os;
+    os << "coloring uses " << used << " colors, allowed " << k;
+    throw InternalError(os.str());
+  }
+}
+
+}  // namespace scol

@@ -1,0 +1,22 @@
+// Independent output validators (throwing variants for tests/examples).
+//
+// Algorithms never validate themselves with these; tests call them so that
+// a bug in an algorithm cannot hide a bug in its own validation.
+#pragma once
+
+#include "scol/coloring/types.h"
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// Throws InternalError with a description unless c is a proper coloring.
+void expect_proper(const Graph& g, const Coloring& c);
+
+/// Throws unless c is proper AND respects the lists.
+void expect_proper_list_coloring(const Graph& g, const Coloring& c,
+                                 const ListAssignment& lists);
+
+/// Throws unless c is proper and uses at most k distinct colors.
+void expect_proper_with_at_most(const Graph& g, const Coloring& c, Vertex k);
+
+}  // namespace scol

@@ -1,0 +1,20 @@
+// Planarity testing (Demoucron–Malgrange–Pertuiset face-by-face embedding,
+// run per biconnected block).
+//
+// This backs the lower-bound experiments: the Theorem 1.5 gadget needs a
+// *verified* "every ball of radius o(n) is planar" premise, and the
+// generators' planar families are validated against this test.
+//
+// Complexity is O(n·m) per embedded path, O(n·m²) worst case — fine for the
+// ball sizes (<= a few thousand vertices) this library checks.
+#pragma once
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// True iff g is planar. Exact (no heuristics): Euler-bound fast rejection,
+/// then Demoucron on each biconnected block with >= 4 vertices.
+bool is_planar(const Graph& g);
+
+}  // namespace scol

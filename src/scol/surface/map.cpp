@@ -1,0 +1,85 @@
+#include "scol/surface/map.h"
+
+#include <algorithm>
+#include <map>
+
+#include "scol/graph/components.h"
+
+namespace scol {
+
+CombinatorialMap::CombinatorialMap(Vertex n,
+                                   std::vector<std::vector<Vertex>> rotations)
+    : n_(n), first_dart_(static_cast<std::size_t>(n), -1) {
+  SCOL_REQUIRE(static_cast<Vertex>(rotations.size()) == n);
+  // Create darts in rotation order; link next_at_vertex cyclically.
+  std::map<Edge, std::vector<std::int32_t>> by_edge;
+  for (Vertex v = 0; v < n; ++v) {
+    std::int32_t prev = -1;
+    for (Vertex w : rotations[static_cast<std::size_t>(v)]) {
+      SCOL_REQUIRE(w >= 0 && w < n && w != v, + "bad rotation entry");
+      const std::int32_t id = static_cast<std::int32_t>(darts_.size());
+      darts_.push_back({v, w, -1, -1});
+      if (prev < 0)
+        first_dart_[static_cast<std::size_t>(v)] = id;
+      else
+        darts_[static_cast<std::size_t>(prev)].next_at_vertex = id;
+      prev = id;
+      by_edge[{std::min(v, w), std::max(v, w)}].push_back(id);
+    }
+    if (prev >= 0)
+      darts_[static_cast<std::size_t>(prev)].next_at_vertex =
+          first_dart_[static_cast<std::size_t>(v)];
+  }
+  // Twin pairing: simple graphs only (exactly two darts per edge).
+  for (auto& [e, ds] : by_edge) {
+    SCOL_REQUIRE(ds.size() == 2, + "rotation system must be symmetric, simple");
+    SCOL_REQUIRE(darts_[static_cast<std::size_t>(ds[0])].from !=
+                     darts_[static_cast<std::size_t>(ds[1])].from,
+                 + "twin darts must be opposite");
+    darts_[static_cast<std::size_t>(ds[0])].twin = ds[1];
+    darts_[static_cast<std::size_t>(ds[1])].twin = ds[0];
+  }
+}
+
+std::vector<std::int64_t> CombinatorialMap::face_sizes() const {
+  std::vector<char> seen(darts_.size(), 0);
+  std::vector<std::int64_t> sizes;
+  for (std::size_t d = 0; d < darts_.size(); ++d) {
+    if (seen[d]) continue;
+    std::int64_t len = 0;
+    std::int32_t x = static_cast<std::int32_t>(d);
+    while (!seen[static_cast<std::size_t>(x)]) {
+      seen[static_cast<std::size_t>(x)] = 1;
+      ++len;
+      x = face_next(x);
+    }
+    sizes.push_back(len);
+  }
+  return sizes;
+}
+
+std::int64_t CombinatorialMap::num_faces() const {
+  return static_cast<std::int64_t>(face_sizes().size());
+}
+
+std::int64_t CombinatorialMap::genus() const {
+  SCOL_REQUIRE(is_connected(graph()), + "genus needs a connected map");
+  const std::int64_t chi = euler_characteristic();
+  SCOL_REQUIRE((2 - chi) % 2 == 0, + "odd Euler defect on orientable map");
+  return (2 - chi) / 2;
+}
+
+bool CombinatorialMap::is_triangulation() const {
+  const auto sizes = face_sizes();
+  return std::all_of(sizes.begin(), sizes.end(),
+                     [](std::int64_t s) { return s == 3; });
+}
+
+Graph CombinatorialMap::graph() const {
+  std::vector<Edge> edges;
+  for (const Dart& d : darts_)
+    if (d.from < d.to) edges.emplace_back(d.from, d.to);
+  return Graph::from_edges(n_, edges);
+}
+
+}  // namespace scol

@@ -1,0 +1,69 @@
+// Combinatorial maps (rotation systems) for orientable surfaces.
+//
+// A rotation system assigns each vertex a cyclic order of its incident
+// half-edges (darts); tracing next(dart) = rotate(twin(dart)) enumerates
+// the faces of the induced embedding, and V - E + F gives the Euler
+// characteristic, hence the genus of the orientable surface.
+//
+// Used to *certify* the lower-bound constructions: the torus generators
+// (grid torus, circulant triangulations C_n(1,m,m+1)) carry explicit
+// rotation systems whose traced genus must be 1 and whose faces must all be
+// triangles/quadrilaterals as claimed (Figure 3 experiments, Fisk premise).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+class CombinatorialMap {
+ public:
+  /// Builds a map on n vertices. `rotations[v]` lists v's neighbors in
+  /// cyclic order; the multiset of all (v, w) incidences must be symmetric.
+  CombinatorialMap(Vertex n, std::vector<std::vector<Vertex>> rotations);
+
+  Vertex num_vertices() const { return n_; }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(darts_.size()) / 2; }
+
+  /// Number of faces of the embedding (by dart tracing).
+  std::int64_t num_faces() const;
+
+  /// Euler characteristic V - E + F.
+  std::int64_t euler_characteristic() const {
+    return static_cast<std::int64_t>(n_) - num_edges() + num_faces();
+  }
+
+  /// Orientable genus g with chi = 2 - 2g. Requires the map to be
+  /// connected; chi must be even for an orientable map.
+  std::int64_t genus() const;
+
+  /// Face sizes (number of darts = edges around each face).
+  std::vector<std::int64_t> face_sizes() const;
+
+  /// True iff every face is a triangle.
+  bool is_triangulation() const;
+
+  /// The underlying simple graph.
+  Graph graph() const;
+
+ private:
+  struct Dart {
+    Vertex from;
+    Vertex to;
+    std::int32_t twin;
+    std::int32_t next_at_vertex;  // next dart in rotation at `from`
+  };
+  Vertex n_;
+  std::vector<Dart> darts_;
+  std::vector<std::int32_t> first_dart_;  // per vertex, -1 if isolated
+
+  std::int32_t face_next(std::int32_t d) const {
+    // Next dart along the face: twin, then rotate at the twin's origin.
+    return darts_[static_cast<std::size_t>(darts_[static_cast<std::size_t>(d)].twin)]
+        .next_at_vertex;
+  }
+};
+
+}  // namespace scol

@@ -1,0 +1,61 @@
+// Checked assertions and structured errors used across the library.
+//
+// SCOL_CHECK is always on (library invariants and user-facing precondition
+// violations throw, so tests and callers can observe them); SCOL_DCHECK
+// compiles away in NDEBUG builds and guards internal hot-path invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace scol {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'S') throw InternalError(os.str());
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+#define SCOL_CHECK(cond, ...)                                             \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::scol::detail::check_failed("SCOL_CHECK", #cond, __FILE__,         \
+                                   __LINE__, std::string("") __VA_ARGS__); \
+  } while (0)
+
+#define SCOL_REQUIRE(cond, ...)                                           \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::scol::detail::check_failed("REQUIRE", #cond, __FILE__, __LINE__,  \
+                                   std::string("") __VA_ARGS__);          \
+  } while (0)
+
+#ifdef NDEBUG
+#define SCOL_DCHECK(cond, ...) \
+  do {                         \
+  } while (0)
+#else
+#define SCOL_DCHECK(cond, ...) SCOL_CHECK(cond, __VA_ARGS__)
+#endif
+
+}  // namespace scol

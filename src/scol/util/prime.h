@@ -1,0 +1,24 @@
+// Small prime utilities (for Linial's polynomial cover-free families).
+#pragma once
+
+#include <cstdint>
+
+namespace scol {
+
+/// True iff p is prime. Trial division; intended for p < 2^31.
+constexpr bool is_prime(std::int64_t p) {
+  if (p < 2) return false;
+  for (std::int64_t q = 2; q * q <= p; ++q)
+    if (p % q == 0) return false;
+  return true;
+}
+
+/// Smallest prime >= x (x >= 0).
+constexpr std::int64_t next_prime(std::int64_t x) {
+  if (x <= 2) return 2;
+  std::int64_t p = x;
+  while (!is_prime(p)) ++p;
+  return p;
+}
+
+}  // namespace scol

@@ -1,0 +1,80 @@
+// Fixed-width table printer for bench output (paper-style rows) with an
+// optional CSV mirror.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scol/util/check.h"
+
+namespace scol {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void row(Cells&&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(to_cell(std::forward<Cells>(cells))), ...);
+    SCOL_CHECK(r.size() == headers_.size(),
+               + "row width mismatches header width");
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size(); ++c)
+        w[c] = std::max(w[c], r[c].size());
+    print_row(os, headers_, w);
+    std::size_t total = 0;
+    for (auto x : w) total += x + 3;
+    os << std::string(total, '-') << "\n";
+    for (const auto& r : rows_) print_row(os, r, w);
+  }
+
+  void print_csv(std::ostream& os) const {
+    print_csv_row(os, headers_);
+    for (const auto& r : rows_) print_csv_row(os, r);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(3) << v;
+      return os.str();
+    } else if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& r,
+                        const std::vector<std::size_t>& w) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << std::setw(static_cast<int>(w[c])) << r[c] << "   ";
+    os << "\n";
+  }
+
+  static void print_csv_row(std::ostream& os,
+                            const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << r[c] << (c + 1 == r.size() ? "\n" : ",");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scol

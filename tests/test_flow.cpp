@@ -1,0 +1,160 @@
+// Flow substrate: Dinic, Hopcroft–Karp, exact mad / densest subgraph /
+// arboricity (cross-checked against brute force on small graphs).
+#include <gtest/gtest.h>
+
+#include "scol/flow/density.h"
+#include "scol/flow/dinic.h"
+#include "scol/flow/matching.h"
+#include "scol/gen/lattice.h"
+#include "scol/gen/random.h"
+#include "scol/gen/special.h"
+#include "scol/graph/graph.h"
+
+namespace scol {
+namespace {
+
+TEST(Dinic, TextbookNetwork) {
+  Dinic d(4);
+  d.add_edge(0, 1, 3);
+  d.add_edge(0, 2, 2);
+  d.add_edge(1, 2, 5);
+  d.add_edge(1, 3, 2);
+  d.add_edge(2, 3, 3);
+  EXPECT_EQ(d.max_flow(0, 3), 5);
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  Dinic d(3);
+  d.add_edge(0, 1, 7);
+  EXPECT_EQ(d.max_flow(0, 2), 0);
+}
+
+TEST(Dinic, MinCutSeparates) {
+  Dinic d(4);
+  d.add_edge(0, 1, 1);
+  d.add_edge(1, 2, 10);
+  d.add_edge(2, 3, 10);
+  EXPECT_EQ(d.max_flow(0, 3), 1);
+  const auto side = d.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(Matching, PerfectOnEvenCycleLists) {
+  // Bipartite 3x3 with all edges: perfect matching of size 3.
+  BipartiteMatcher m(3, 3);
+  for (int l = 0; l < 3; ++l)
+    for (int r = 0; r < 3; ++r) m.add_edge(l, r);
+  EXPECT_EQ(m.solve(), 3);
+}
+
+TEST(Matching, HallViolation) {
+  // Two left vertices share one right vertex.
+  BipartiteMatcher m(2, 2);
+  m.add_edge(0, 0);
+  m.add_edge(1, 0);
+  EXPECT_EQ(m.solve(), 1);
+}
+
+TEST(Density, KnownValues) {
+  // K4: densest subgraph density 6/4, mad 3.
+  const DensestSubgraph k4 = maximum_average_degree(complete(4));
+  EXPECT_EQ(k4.num, 12);
+  EXPECT_EQ(k4.den, 4);
+  EXPECT_EQ(mad_ceiling(complete(4)), 3);
+
+  // Cycle: mad exactly 2.
+  EXPECT_EQ(mad_ceiling(cycle(9)), 2);
+  EXPECT_DOUBLE_EQ(maximum_average_degree(cycle(9)).value(), 2.0);
+
+  // Tree: mad < 2.
+  const DensestSubgraph p = maximum_average_degree(path(6));
+  EXPECT_LT(p.value(), 2.0);
+  EXPECT_EQ(mad_ceiling(path(6)), 2);
+
+  // Edgeless.
+  EXPECT_EQ(maximum_average_degree(Graph::from_edges(5, {})).value(), 0.0);
+}
+
+TEST(Density, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(53);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vertex n = 6 + static_cast<Vertex>(rng.below(7));
+    const std::int64_t max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;
+    const Graph g = gnm(n, rng.below(static_cast<std::uint64_t>(max_m) + 1), rng);
+    const double exact = maximum_average_degree(g).value();
+    const double brute = mad_bruteforce(g);
+    EXPECT_NEAR(exact, brute, 1e-9) << describe(g);
+  }
+}
+
+TEST(Density, WitnessIsConsistent) {
+  Rng rng(59);
+  const Graph g = gnm(30, 80, rng);
+  const DensestSubgraph d = densest_subgraph(g);
+  // Recount edges inside the witness.
+  std::vector<char> in(30, 0);
+  for (Vertex v : d.witness) in[static_cast<std::size_t>(v)] = 1;
+  std::int64_t e = 0;
+  for (Vertex v : d.witness)
+    for (Vertex w : g.neighbors(v))
+      if (v < w && in[static_cast<std::size_t>(w)]) ++e;
+  EXPECT_EQ(e, d.num);
+  EXPECT_EQ(static_cast<std::int64_t>(d.witness.size()), d.den);
+}
+
+TEST(Arboricity, KnownValues) {
+  EXPECT_EQ(arboricity_exact(path(7)), 1);
+  EXPECT_EQ(arboricity_exact(cycle(8)), 2);     // cycle needs 2 forests
+  EXPECT_EQ(arboricity_exact(complete(4)), 2);  // ceil(6/3)
+  EXPECT_EQ(arboricity_exact(complete(5)), 3);  // ceil(10/4)
+  EXPECT_EQ(arboricity_exact(complete_bipartite(3, 3)), 2);
+  EXPECT_EQ(arboricity_exact(petersen()), 2);   // ceil(15/9) = 2
+}
+
+TEST(Arboricity, MatchesBruteForce) {
+  Rng rng(61);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vertex n = 5 + static_cast<Vertex>(rng.below(6));
+    const std::int64_t max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;
+    const Graph g = gnm(n, rng.below(static_cast<std::uint64_t>(max_m) + 1), rng);
+    if (g.num_edges() == 0) continue;
+    EXPECT_EQ(arboricity_exact(g), arboricity_bruteforce(g)) << describe(g);
+  }
+}
+
+TEST(Arboricity, ForestUnionHasBoundedArboricity) {
+  Rng rng(67);
+  for (Vertex a = 1; a <= 4; ++a) {
+    const Graph g = random_forest_union(40, a, rng);
+    EXPECT_LE(arboricity_exact(g), a);
+  }
+}
+
+TEST(Arboricity, NashWilliamsVsMadInequalities) {
+  // 2a(G) - 2 <= ceil(mad(G)) <= 2a(G) (paper §1.3).
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gnm(14, 4 + rng.below(40), rng);
+    if (g.num_edges() == 0) continue;
+    const Vertex a = arboricity_exact(g);
+    const Vertex mc = mad_ceiling(g);
+    EXPECT_LE(2 * a - 2, mc) << describe(g);
+    EXPECT_LE(mc, 2 * a) << describe(g);
+  }
+}
+
+TEST(Density, PlanarBounds) {
+  // Prop 2.2 consequences: grid (girth 4) mad < 4; hex patch mad < 3.
+  EXPECT_LT(maximum_average_degree(grid(8, 8)).value(), 4.0);
+  EXPECT_LT(maximum_average_degree(hex_patch(8, 8)).value(), 3.0);
+}
+
+TEST(Arboricity, Pseudoarboricity) {
+  EXPECT_EQ(pseudoarboricity(cycle(6)), 1);   // orientations: 1 out-edge each
+  EXPECT_EQ(pseudoarboricity(complete(5)), 2);  // ceil(10/5); arboricity is 3
+  EXPECT_EQ(arboricity_exact(complete(5)) - pseudoarboricity(complete(5)), 1);
+}
+
+}  // namespace
+}  // namespace scol

@@ -1,0 +1,124 @@
+// Generator invariants: sizes, degrees, girth, planarity, regularity,
+// bipartiteness, Klein-bottle structure.
+#include <gtest/gtest.h>
+
+#include "scol/flow/density.h"
+#include "scol/gen/circulant.h"
+#include "scol/gen/lattice.h"
+#include "scol/gen/planar_random.h"
+#include "scol/gen/random.h"
+#include "scol/gen/special.h"
+#include "scol/graph/components.h"
+#include "scol/graph/girth.h"
+#include "scol/planarity/planarity.h"
+
+namespace scol {
+namespace {
+
+TEST(Gen, GridBasics) {
+  const Graph g = grid(4, 6);
+  EXPECT_EQ(g.num_vertices(), 24);
+  EXPECT_EQ(g.num_edges(), 4 * 5 + 6 * 3);
+  EXPECT_EQ(girth(g), 4);
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(Gen, TorusAndCylinder) {
+  const Graph t = torus_grid(5, 7);
+  EXPECT_EQ(t.num_edges(), 2 * 35);
+  for (Vertex v = 0; v < t.num_vertices(); ++v) EXPECT_EQ(t.degree(v), 4);
+  const Graph c = cylinder(5, 7);
+  EXPECT_EQ(c.num_edges(), 5 * 7 + 5 * 6);
+}
+
+TEST(Gen, KleinGridStructure) {
+  const Graph k = klein_grid(5, 7);
+  EXPECT_EQ(k.num_vertices(), 35);
+  // Quadrangulation of a closed surface: 4-regular.
+  for (Vertex v = 0; v < k.num_vertices(); ++v) EXPECT_EQ(k.degree(v), 4);
+  EXPECT_EQ(k.num_edges(), 2 * 35);
+  EXPECT_EQ(girth(k), 4);
+}
+
+TEST(Gen, HexPatchGirthSix) {
+  const Graph h = hex_patch(8, 10);
+  EXPECT_EQ(girth(h), 6);
+  EXPECT_LE(h.max_degree(), 3);
+  EXPECT_TRUE(is_planar(h));
+}
+
+TEST(Gen, CirculantAndPowers) {
+  const Graph c = cycle_power(11, 3);
+  for (Vertex v = 0; v < 11; ++v) EXPECT_EQ(c.degree(v), 6);
+  const Graph p = path_power(10, 3);
+  EXPECT_EQ(p.num_edges(), 9 + 8 + 7);
+  EXPECT_EQ(cycle_power_chromatic_number(12, 3), 4);
+  EXPECT_EQ(cycle_power_chromatic_number(13, 3), 5);
+  EXPECT_EQ(cycle_power_chromatic_number(14, 3), 5);
+}
+
+TEST(Gen, StackedTriangulationIsMaximalPlanar) {
+  Rng rng(89);
+  const Graph g = random_stacked_triangulation(30, rng);
+  EXPECT_EQ(g.num_edges(), 3 * 30 - 6);
+  EXPECT_TRUE(is_planar(g));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LT(maximum_average_degree(g).value(), 6.0);
+}
+
+TEST(Gen, GridRandomDiagonalsDegrees) {
+  Rng rng(97);
+  const Graph g = grid_random_diagonals(6, 6, rng);
+  EXPECT_TRUE(is_planar(g));
+  EXPECT_EQ(g.num_edges(),
+            static_cast<std::int64_t>(6 * 5 * 2 + 5 * 5));  // grid + diagonals
+}
+
+TEST(Gen, RandomRegularIsRegular) {
+  Rng rng(101);
+  for (Vertex d : {3, 4, 6}) {
+    const Graph g = random_regular(50, d, rng);
+    for (Vertex v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), d);
+    EXPECT_EQ(mad_ceiling(g), d);  // d-regular => mad = d
+  }
+}
+
+TEST(Gen, RandomTreeIsTree) {
+  Rng rng(103);
+  for (int t = 0; t < 10; ++t) {
+    const Graph g = random_tree(30, rng);
+    EXPECT_EQ(g.num_edges(), 29);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Gen, ForestUnionEdgeCount) {
+  Rng rng(107);
+  const Graph g = random_forest_union(40, 3, rng);
+  EXPECT_LE(g.num_edges(), 3 * 39);
+  EXPECT_GT(g.num_edges(), 39);  // should overlap little
+}
+
+TEST(Gen, GnmExactEdges) {
+  Rng rng(109);
+  const Graph g = gnm(25, 60, rng);
+  EXPECT_EQ(g.num_edges(), 60);
+}
+
+TEST(Gen, NamedGraphInvariants) {
+  EXPECT_EQ(petersen().num_edges(), 15);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(petersen().degree(v), 3);
+  EXPECT_EQ(heawood().num_edges(), 21);
+  for (Vertex v = 0; v < 14; ++v) EXPECT_EQ(heawood().degree(v), 3);
+  EXPECT_EQ(mcgee().num_edges(), 36);
+  for (Vertex v = 0; v < 24; ++v) EXPECT_EQ(mcgee().degree(v), 3);
+  EXPECT_EQ(grotzsch().num_edges(), 20);
+}
+
+TEST(Gen, KleinGridDeterministic) {
+  // Same parameters, same graph (determinism).
+  EXPECT_EQ(klein_grid(5, 9).edges(), klein_grid(5, 9).edges());
+}
+
+}  // namespace
+}  // namespace scol

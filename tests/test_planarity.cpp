@@ -1,0 +1,116 @@
+// Demoucron planarity test against known planar and non-planar graphs,
+// subdivisions, and generated planar families.
+#include <gtest/gtest.h>
+
+#include "scol/gen/circulant.h"
+#include "scol/gen/lattice.h"
+#include "scol/gen/planar_random.h"
+#include "scol/gen/random.h"
+#include "scol/gen/special.h"
+#include "scol/planarity/planarity.h"
+
+namespace scol {
+namespace {
+
+// Subdivides every edge of g once.
+Graph subdivide(const Graph& g) {
+  std::vector<Edge> edges;
+  Vertex next = g.num_vertices();
+  for (const auto& [u, v] : g.edges()) {
+    edges.emplace_back(u, next);
+    edges.emplace_back(std::min(v, next), std::max(v, next));
+    ++next;
+  }
+  return Graph::from_edges(next, edges);
+}
+
+TEST(Planarity, SmallGraphsArePlanar) {
+  EXPECT_TRUE(is_planar(complete(4)));
+  EXPECT_TRUE(is_planar(cycle(5)));
+  EXPECT_TRUE(is_planar(path(9)));
+  EXPECT_TRUE(is_planar(star(8)));
+}
+
+TEST(Planarity, KuratowskiGraphs) {
+  EXPECT_FALSE(is_planar(complete(5)));
+  EXPECT_FALSE(is_planar(complete_bipartite(3, 3)));
+  EXPECT_FALSE(is_planar(complete(6)));
+  EXPECT_FALSE(is_planar(petersen()));
+}
+
+TEST(Planarity, Subdivisions) {
+  EXPECT_FALSE(is_planar(subdivide(complete(5))));
+  EXPECT_FALSE(is_planar(subdivide(complete_bipartite(3, 3))));
+  EXPECT_TRUE(is_planar(subdivide(complete(4))));
+}
+
+TEST(Planarity, LatticesArePlanar) {
+  EXPECT_TRUE(is_planar(grid(7, 9)));
+  EXPECT_TRUE(is_planar(cylinder(5, 8)));
+  EXPECT_TRUE(is_planar(hex_patch(6, 8)));
+}
+
+TEST(Planarity, ToroidalGraphsAreNot) {
+  EXPECT_FALSE(is_planar(torus_grid(5, 5)));
+  EXPECT_FALSE(is_planar(cycle_power(13, 3)));      // C_13(1,2,3)
+  EXPECT_FALSE(is_planar(torus_triangulation(5, 5)));
+  EXPECT_FALSE(is_planar(klein_grid(5, 5)));
+}
+
+TEST(Planarity, PathPowerCubeIsPlanar) {
+  // P^3 is a stacked-strip triangulation (the Theorem 1.5 ball shape).
+  for (Vertex n : {5, 10, 25, 60}) EXPECT_TRUE(is_planar(path_power(n, 3)));
+  EXPECT_FALSE(is_planar(path_power(12, 4)));  // P^4 contains K_5
+}
+
+TEST(Planarity, GeneratedPlanarFamilies) {
+  Rng rng(73);
+  for (int trial = 0; trial < 8; ++trial) {
+    EXPECT_TRUE(is_planar(random_stacked_triangulation(40, rng)));
+    EXPECT_TRUE(is_planar(grid_random_diagonals(7, 7, rng)));
+    EXPECT_TRUE(is_planar(random_subhex(8, 8, 0.15, rng)));
+  }
+}
+
+TEST(Planarity, MaximalPlanarPlusEdgeIsNonPlanar) {
+  Rng rng(79);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = random_stacked_triangulation(20, rng);
+    // Adding any missing edge to a maximal planar graph breaks planarity.
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      for (Vertex v = u + 1; v < g.num_vertices(); ++v) {
+        if (!g.has_edge(u, v)) {
+          std::vector<Edge> edges = g.edges();
+          edges.emplace_back(u, v);
+          EXPECT_FALSE(is_planar(Graph::from_edges(g.num_vertices(), edges)));
+          u = g.num_vertices();  // one probe per trial is enough
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(Planarity, DisconnectedAndBlockwise) {
+  EXPECT_TRUE(is_planar(disjoint_union(grid(4, 4), cycle(5))));
+  EXPECT_FALSE(is_planar(disjoint_union(grid(4, 4), complete(5))));
+  // K5 hanging off a path through a cut vertex.
+  GraphBuilder b(9);
+  for (Vertex i = 0; i < 5; ++i)
+    for (Vertex j = static_cast<Vertex>(i + 1); j < 5; ++j) b.add_edge(i, j);
+  b.add_edge(4, 5);
+  b.add_edge(5, 6);
+  b.add_edge(6, 7);
+  b.add_edge(7, 8);
+  EXPECT_FALSE(is_planar(b.build()));
+}
+
+TEST(Planarity, DenseEdgeCountRejection) {
+  // m > 3n - 6 must short-circuit without running Demoucron.
+  Rng rng(83);
+  const Graph g = gnm(12, 40, rng);
+  EXPECT_FALSE(is_planar(g));
+}
+
+}  // namespace
+}  // namespace scol

@@ -1,0 +1,166 @@
+// Cross-module property sweeps: Moore bound (Theorem 4.1/Corollary 4.2),
+// Proposition 2.2, Theorem 1.2 (folklore), chain chi <= ch <= floor(mad)+1,
+// and Observation 5.1-style list-surplus invariants exercised end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scol/coloring/exact.h"
+#include "scol/coloring/greedy.h"
+#include "scol/coloring/sparse.h"
+#include "scol/flow/density.h"
+#include "scol/gen/circulant.h"
+#include "scol/gen/lattice.h"
+#include "scol/gen/planar_random.h"
+#include "scol/gen/random.h"
+#include "scol/gen/special.h"
+#include "scol/graph/cliques.h"
+#include "scol/graph/girth.h"
+#include "scol/local/validate.h"
+
+namespace scol {
+namespace {
+
+// Corollary 4.2: girth <= 4 log n / log(1 + delta) when avg degree 2+delta.
+void check_moore(const Graph& g) {
+  const double avg = g.average_degree();
+  if (avg <= 2.0) return;
+  const Vertex gi = girth(g);
+  if (gi < 0) return;
+  const double bound = 4.0 * std::log(static_cast<double>(g.num_vertices())) /
+                       std::log(avg - 1.0);
+  EXPECT_LE(static_cast<double>(gi), bound + 1e-9) << describe(g);
+}
+
+TEST(Moore, CagesAndRandom) {
+  check_moore(petersen());
+  check_moore(heawood());
+  check_moore(mcgee());
+  Rng rng(643);
+  for (int t = 0; t < 10; ++t) check_moore(gnm(80, 100 + rng.below(150), rng));
+  check_moore(random_regular(100, 3, rng));
+}
+
+TEST(Moore, Theorem41FormOnCages) {
+  // n >= (1 + delta)^{(g-1)/2} with delta = avg - 2.
+  for (const Graph& g : {petersen(), heawood(), mcgee()}) {
+    const double delta = g.average_degree() - 2.0;
+    const double gi = static_cast<double>(girth(g));
+    EXPECT_GE(static_cast<double>(g.num_vertices()) + 1e-9,
+              std::pow(1.0 + delta, (gi - 1.0) / 2.0))
+        << describe(g);
+  }
+}
+
+TEST(Prop22, PlanarGirthVsMad) {
+  // mad < 2g/(g-2) for planar graphs of girth g.
+  Rng rng(647);
+  const auto check = [](const Graph& g, Vertex girth_lb) {
+    const double mad = maximum_average_degree(g).value();
+    EXPECT_LT(mad, 2.0 * girth_lb / (girth_lb - 2.0)) << describe(g);
+  };
+  check(random_stacked_triangulation(150, rng), 3);  // girth 3: mad < 6
+  check(grid(12, 12), 4);                            // girth 4: mad < 4
+  check(cylinder(8, 12), 4);
+  check(hex_patch(12, 12), 6);                       // girth 6: mad < 3
+}
+
+TEST(Folklore12, MainAlgorithmRealizesTheorem) {
+  // Theorem 1.2: d = ceil(mad) >= 3, no K_{d+1}: ch(G) <= d. Our main
+  // algorithm is its constructive counterpart — verify on random sparse
+  // graphs with exact mad, random d-lists.
+  Rng rng(653);
+  int exercised = 0;
+  for (int t = 0; t < 12; ++t) {
+    const Graph g = gnm(90, 110 + rng.below(60), rng);
+    const Vertex d = std::max<Vertex>(3, mad_ceiling(g));
+    if (find_clique(g, d + 1).has_value()) continue;
+    const ListAssignment lists =
+        random_lists(90, static_cast<Color>(d), static_cast<Color>(3 * d), rng);
+    const SparseResult r = list_color_sparse(g, d, lists);
+    ASSERT_TRUE(r.coloring.has_value());
+    expect_proper_list_coloring(g, *r.coloring, lists);
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 6);
+}
+
+TEST(Chain, ChiLeqChLeqMadFloorPlusOne) {
+  // chi <= ch <= floor(mad)+1 (§1.2): the degeneracy greedy realizes the
+  // right-hand bound; the exact solver the left.
+  Rng rng(659);
+  for (int t = 0; t < 8; ++t) {
+    const Graph g = gnm(16, 20 + rng.below(25), rng);
+    const double mad = maximum_average_degree(g).value();
+    const Coloring greedy = degeneracy_coloring(g);
+    expect_proper(g, greedy);
+    EXPECT_LE(count_colors(greedy),
+              static_cast<Vertex>(std::floor(mad)) + 1);
+    EXPECT_LE(chromatic_number(g), count_colors(greedy));
+  }
+}
+
+TEST(Degeneracy, ArboricityImpliesDegeneracyBound) {
+  // Graphs with arboricity a are (2a-1)-degenerate (§1.3).
+  Rng rng(661);
+  for (Vertex a : {2, 3}) {
+    const Graph g = random_forest_union(120, a, rng);
+    EXPECT_LE(degeneracy_order(g).degeneracy, 2 * a - 1);
+  }
+}
+
+TEST(PeelShape, PeelCountLogarithmicOnRegular) {
+  // Theorem 1.3's bounded-degree branch: k = O(d log n) peels; with the
+  // paper radius on a shallow regular graph everything is happy at once,
+  // so exercise the multi-peel regime with a radius override and check
+  // the count stays far below n.
+  Rng rng(673);
+  const Graph g = random_regular(300, 4, rng);
+  SparseOptions opts;
+  opts.radius_override = 6;
+  const SparseResult r =
+      list_color_sparse(g, 4, uniform_lists(300, 4), opts);
+  ASSERT_TRUE(r.coloring.has_value());
+  EXPECT_LE(static_cast<int>(r.peels.size()), 40);
+}
+
+TEST(Rounds, PolylogShapeAcrossSizes) {
+  // Rounds / log^3(n) should not explode as n grows (fixed d): ratios
+  // across a 16x size range stay within a small constant factor.
+  Rng rng(677);
+  std::vector<double> normalized;
+  for (Vertex n : {64, 256, 1024}) {
+    const Graph g = random_regular(n, 4, rng);
+    const SparseResult r = list_color_sparse(
+        g, 4, uniform_lists(n, 4));
+    ASSERT_TRUE(r.coloring.has_value());
+    const double l = std::log2(static_cast<double>(n));
+    normalized.push_back(static_cast<double>(r.ledger.total()) / (l * l * l));
+  }
+  const double lo = *std::min_element(normalized.begin(), normalized.end());
+  const double hi = *std::max_element(normalized.begin(), normalized.end());
+  EXPECT_LE(hi / lo, 64.0);  // generous constant; catches super-polylog blowup
+}
+
+TEST(Obs51, SurplusSurvivesPeeling) {
+  // After any peel, removed neighbors are uncolored, so list sizes minus
+  // *colored* neighbor counts never drop below residual degrees — the
+  // extension asserts this internally; here we just run a multi-level
+  // instance through and rely on the internal SCOL_CHECKs.
+  Rng rng(683);
+  Graph base = random_forest_union(130, 2, rng);
+  std::vector<Edge> edges = base.edges();
+  for (Vertex i = 0; i < 15; ++i) {
+    const Vertex w = static_cast<Vertex>((9 * i + 5) % 130);
+    if (w != 1 && !base.has_edge(1, w)) edges.emplace_back(1, w);
+  }
+  const Graph g = Graph::from_edges(130, edges);
+  const Vertex d = std::max<Vertex>(4, mad_ceiling(g));
+  const SparseResult r =
+      list_color_sparse(g, d, uniform_lists(130, static_cast<Color>(d)));
+  ASSERT_TRUE(r.coloring.has_value());
+  expect_proper(g, *r.coloring);
+}
+
+}  // namespace
+}  // namespace scol

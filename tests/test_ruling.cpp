@@ -1,0 +1,118 @@
+// Ruling forests (§5, [3]): separation, coverage, disjoint trees, depth
+// bounds, round accounting — property-checked across random graphs.
+#include <gtest/gtest.h>
+
+#include "scol/coloring/ruling.h"
+#include "scol/gen/lattice.h"
+#include "scol/gen/random.h"
+#include "scol/graph/bfs.h"
+
+namespace scol {
+namespace {
+
+struct Params {
+  Vertex n;
+  std::int64_t m;
+  Vertex alpha;
+  double u_fraction;
+  std::uint64_t seed;
+};
+
+class RulingForestProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(RulingForestProperty, AllInvariants) {
+  const Params p = GetParam();
+  Rng rng(p.seed);
+  const Graph g = gnm(p.n, p.m, rng);
+  std::vector<char> in_u(static_cast<std::size_t>(p.n), 0);
+  Vertex u_count = 0;
+  for (Vertex v = 0; v < p.n; ++v) {
+    if (rng.chance(p.u_fraction)) {
+      in_u[static_cast<std::size_t>(v)] = 1;
+      ++u_count;
+    }
+  }
+  RoundLedger ledger;
+  const RulingForest rf = ruling_forest(g, in_u, p.alpha, &ledger);
+
+  // (1) Every U-vertex lies in some tree.
+  for (Vertex v = 0; v < p.n; ++v)
+    if (in_u[static_cast<std::size_t>(v)]) EXPECT_TRUE(rf.in_forest(v));
+
+  // Roots are U-vertices.
+  for (Vertex r : rf.roots)
+    EXPECT_TRUE(in_u[static_cast<std::size_t>(r)]) << "root " << r;
+  if (u_count > 0) EXPECT_FALSE(rf.roots.empty());
+
+  // (2) Roots pairwise >= alpha apart.
+  for (Vertex r : rf.roots) {
+    const auto dist = bfs_distances(g, r);
+    for (Vertex r2 : rf.roots) {
+      if (r2 == r) continue;
+      const Vertex d = dist[static_cast<std::size_t>(r2)];
+      if (d >= 0) EXPECT_GE(d, p.alpha) << r << " vs " << r2;
+    }
+  }
+
+  // (3) Depth bound; parent pointers consistent; trees vertex-disjoint by
+  // construction (root[] is a function).
+  EXPECT_LE(rf.max_depth, rf.depth_bound);
+  for (Vertex v = 0; v < p.n; ++v) {
+    if (!rf.in_forest(v)) continue;
+    const Vertex par = rf.parent[static_cast<std::size_t>(v)];
+    if (par < 0) {
+      EXPECT_EQ(rf.root[static_cast<std::size_t>(v)], v);
+      EXPECT_EQ(rf.depth[static_cast<std::size_t>(v)], 0);
+    } else {
+      EXPECT_TRUE(g.has_edge(v, par));
+      EXPECT_EQ(rf.depth[static_cast<std::size_t>(v)],
+                rf.depth[static_cast<std::size_t>(par)] + 1);
+      EXPECT_EQ(rf.root[static_cast<std::size_t>(v)],
+                rf.root[static_cast<std::size_t>(par)]);
+    }
+  }
+
+  EXPECT_GT(ledger.total(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RulingForestProperty,
+    ::testing::Values(Params{30, 60, 2, 0.5, 221}, Params{60, 90, 3, 0.3, 223},
+                      Params{100, 150, 4, 0.8, 227},
+                      Params{100, 300, 2, 0.2, 229},
+                      Params{150, 200, 5, 1.0, 233},
+                      Params{40, 0, 3, 0.5, 239},   // edgeless
+                      Params{80, 120, 8, 0.6, 241},
+                      Params{120, 180, 3, 0.05, 251}));
+
+TEST(RulingForest, SingletonU) {
+  const Graph g = grid(6, 6);
+  std::vector<char> in_u(36, 0);
+  in_u[14] = 1;
+  const RulingForest rf = ruling_forest(g, in_u, 4);
+  ASSERT_EQ(rf.roots.size(), 1u);
+  EXPECT_EQ(rf.roots[0], 14);
+}
+
+TEST(RulingForest, EmptyU) {
+  const Graph g = grid(4, 4);
+  std::vector<char> in_u(16, 0);
+  const RulingForest rf = ruling_forest(g, in_u, 3);
+  EXPECT_TRUE(rf.roots.empty());
+  for (Vertex v = 0; v < 16; ++v) EXPECT_FALSE(rf.in_forest(v));
+}
+
+TEST(RulingForest, PathDense) {
+  // On a path with all vertices in U, survivors must be >= alpha apart and
+  // still cover everything within the depth bound.
+  const Graph p = grid(1, 50);
+  std::vector<char> in_u(50, 1);
+  const RulingForest rf = ruling_forest(p, in_u, 6);
+  for (Vertex v = 0; v < 50; ++v) EXPECT_TRUE(rf.in_forest(v));
+  for (std::size_t i = 0; i < rf.roots.size(); ++i)
+    for (std::size_t j = i + 1; j < rf.roots.size(); ++j)
+      EXPECT_GE(std::abs(rf.roots[i] - rf.roots[j]), 6);
+}
+
+}  // namespace
+}  // namespace scol

@@ -1,0 +1,76 @@
+// Combinatorial maps: face tracing, Euler characteristic, genus; the torus
+// constructions used by the Figure 3 experiments must certify genus 1 and
+// triangularity.
+#include <gtest/gtest.h>
+
+#include "scol/gen/circulant.h"
+#include "scol/gen/lattice.h"
+#include "scol/surface/map.h"
+
+namespace scol {
+namespace {
+
+TEST(Surface, TriangleOnSphere) {
+  // K3 with the unique rotation system: 2 faces, chi = 2, genus 0.
+  CombinatorialMap m(3, {{1, 2}, {2, 0}, {0, 1}});
+  EXPECT_EQ(m.num_edges(), 3);
+  EXPECT_EQ(m.num_faces(), 2);
+  EXPECT_EQ(m.euler_characteristic(), 2);
+  EXPECT_EQ(m.genus(), 0);
+  EXPECT_TRUE(m.is_triangulation());
+}
+
+TEST(Surface, K4Planar) {
+  // Planar rotation system of K4 (outer triangle 0,1,2 with 3 inside).
+  CombinatorialMap m(4, {{1, 3, 2}, {2, 3, 0}, {0, 3, 1}, {0, 1, 2}});
+  EXPECT_EQ(m.euler_characteristic(), 2);
+  EXPECT_TRUE(m.is_triangulation());
+}
+
+TEST(Surface, K4Toroidal) {
+  // A different rotation system of K4 embeds it on the torus (chi = 0):
+  // swap one vertex's rotation.
+  CombinatorialMap m(4, {{1, 2, 3}, {2, 3, 0}, {0, 3, 1}, {0, 1, 2}});
+  EXPECT_NE(m.euler_characteristic(), 2);
+}
+
+TEST(Surface, TorusGridTriangulation) {
+  for (Vertex s : {5, 6, 8}) {
+    const CombinatorialMap m = torus_triangulation_map(s, s);
+    EXPECT_EQ(m.num_edges(), 3 * static_cast<std::int64_t>(s) * s);
+    EXPECT_EQ(m.euler_characteristic(), 0) << s;
+    EXPECT_EQ(m.genus(), 1) << s;
+    EXPECT_TRUE(m.is_triangulation()) << s;
+    // All degrees 6.
+    const Graph g = m.graph();
+    EXPECT_EQ(g.max_degree(), 6);
+  }
+}
+
+TEST(Surface, CirculantTorusMap) {
+  for (Vertex n : {9, 13, 17, 25, 33}) {
+    const CombinatorialMap m = circulant_torus_map(n, 2);  // C_n(1,2,3)
+    EXPECT_EQ(m.euler_characteristic(), 0) << n;
+    EXPECT_EQ(m.genus(), 1) << n;
+    EXPECT_TRUE(m.is_triangulation()) << n;
+  }
+  // And with larger m (the general C_n(1,m,m+1) family).
+  for (Vertex mm : {3, 4}) {
+    const CombinatorialMap m = circulant_torus_map(31, mm);
+    EXPECT_EQ(m.genus(), 1);
+    EXPECT_TRUE(m.is_triangulation());
+  }
+}
+
+TEST(Surface, GraphMatchesCirculant) {
+  const Graph a = circulant_torus_map(19, 2).graph();
+  const Graph b = cycle_power(19, 3);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Surface, RejectsAsymmetricRotations) {
+  EXPECT_THROW(CombinatorialMap(3, {{1}, {2}, {0}}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace scol

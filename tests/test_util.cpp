@@ -1,0 +1,113 @@
+// util module: checked errors, deterministic RNG, primes, table printer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "scol/util/check.h"
+#include "scol/util/prime.h"
+#include "scol/util/rng.h"
+#include "scol/util/table.h"
+
+namespace scol {
+namespace {
+
+TEST(Check, ThrowsTypedErrors) {
+  EXPECT_THROW(SCOL_REQUIRE(false, + "user error"), PreconditionError);
+  EXPECT_THROW(SCOL_CHECK(false, + "bug"), InternalError);
+  EXPECT_NO_THROW(SCOL_REQUIRE(true));
+  EXPECT_NO_THROW(SCOL_CHECK(true));
+}
+
+TEST(Check, MessagesContainContext) {
+  try {
+    SCOL_REQUIRE(1 == 2, + "custom context");
+    FAIL();
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.below(7);
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformBoundsInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto x = rng.uniform(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Prime, Basics) {
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(13));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_FALSE(is_prime(15));
+  EXPECT_EQ(next_prime(14), 17);
+  EXPECT_EQ(next_prime(17), 17);
+  EXPECT_EQ(next_prime(0), 2);
+}
+
+TEST(Table, AlignsAndCsv) {
+  Table t({"a", "bb"});
+  t.row(1, "x");
+  t.row(22, 3.5);
+  std::ostringstream text, csv;
+  t.print(text);
+  t.print_csv(csv);
+  EXPECT_NE(text.str().find("bb"), std::string::npos);
+  EXPECT_EQ(csv.str(), "a,bb\n1,x\n22,3.500\n");
+}
+
+TEST(Table, RejectsWrongWidth) {
+  Table t({"one", "two"});
+  EXPECT_THROW(t.row(1), InternalError);
+}
+
+}  // namespace
+}  // namespace scol
