@@ -8,6 +8,7 @@
 #include "scol/graph/blocks.h"
 #include "scol/graph/components.h"
 #include "scol/graph/gallai.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 namespace {
@@ -219,19 +220,20 @@ void color_two_connected(const Graph& b, AvailableLists av, Coloring& out) {
 
 }  // namespace
 
-Coloring degree_choosable_coloring(const Graph& g, const AvailableLists& avail) {
+Coloring degree_choosable_coloring(const Graph& g, const AvailableLists& avail,
+                                   const Executor* executor) {
   const Vertex n = g.num_vertices();
+  const Executor& exec = resolve_executor(executor);
   SCOL_REQUIRE(static_cast<Vertex>(avail.size()) == n);
   SCOL_REQUIRE(n >= 1);
   SCOL_REQUIRE(is_connected(g), + "input must be connected");
-  for (Vertex v = 0; v < n; ++v) {
-    SCOL_REQUIRE(std::is_sorted(avail[static_cast<std::size_t>(v)].begin(),
-                                avail[static_cast<std::size_t>(v)].end()),
+  parallel_for_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
+    SCOL_REQUIRE(std::is_sorted(avail[i].begin(), avail[i].end()),
                  + "avail lists must be sorted");
-    SCOL_REQUIRE(static_cast<Vertex>(avail[static_cast<std::size_t>(v)].size()) >=
-                     g.degree(v),
+    SCOL_REQUIRE(static_cast<Vertex>(avail[i].size()) >=
+                     g.degree(static_cast<Vertex>(i)),
                  + "need |avail(v)| >= deg(v)");
-  }
+  });
 
   Coloring colors = empty_coloring(n);
   if (n == 1) {
@@ -240,13 +242,16 @@ Coloring degree_choosable_coloring(const Graph& g, const AvailableLists& avail) 
     return colors;
   }
 
-  // Case 1: global surplus vertex.
-  for (Vertex v = 0; v < n; ++v) {
-    if (static_cast<Vertex>(avail[static_cast<std::size_t>(v)].size()) >
-        g.degree(v)) {
-      color_from_surplus(g, v, avail, colors);
-      return colors;
-    }
+  // Case 1: global surplus vertex — the SMALLEST one, so the parallel scan
+  // (min-reduction over chunks) picks the same vertex as the serial scan.
+  const std::size_t surplus =
+      parallel_min_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
+        return static_cast<Vertex>(avail[i].size()) >
+               g.degree(static_cast<Vertex>(i));
+      });
+  if (surplus < static_cast<std::size_t>(n)) {
+    color_from_surplus(g, static_cast<Vertex>(surplus), avail, colors);
+    return colors;
   }
 
   // Case 2: all tight; peel the block tree toward a non-Gallai block B*.

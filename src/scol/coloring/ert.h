@@ -23,6 +23,7 @@
 
 #include "scol/coloring/types.h"
 #include "scol/graph/graph.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 
@@ -33,7 +34,9 @@ using AvailableLists = std::vector<std::vector<Color>>;
 /// Colors every vertex of connected `g` with c[v] in avail[v].
 /// Preconditions (throws PreconditionError otherwise): g connected,
 /// |avail[v]| >= deg(v) for all v, and (some vertex has surplus
-/// |avail[w]| > deg(w)) OR (g is not a Gallai tree).
-Coloring degree_choosable_coloring(const Graph& g, const AvailableLists& avail);
+/// |avail[w]| > deg(w)) OR (g is not a Gallai tree). The result is
+/// identical under every executor.
+Coloring degree_choosable_coloring(const Graph& g, const AvailableLists& avail,
+                                   const Executor* executor = nullptr);
 
 }  // namespace scol

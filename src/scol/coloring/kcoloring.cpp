@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "scol/util/executor.h"
 #include "scol/util/prime.h"
 
 namespace scol {
@@ -57,8 +58,10 @@ std::int64_t linial_next_palette(std::int64_t k, Vertex d) {
 
 DegreeColoringResult distributed_degree_coloring(const Graph& g, Vertex dmax,
                                                  RoundLedger* ledger,
-                                                 const std::string& phase) {
+                                                 const std::string& phase,
+                                                 const Executor* executor) {
   SCOL_REQUIRE(dmax >= g.max_degree(), + "dmax must bound the max degree");
+  const Executor& exec = resolve_executor(executor);
   const Vertex n = g.num_vertices();
   DegreeColoringResult out;
   out.coloring.resize(static_cast<std::size_t>(n));
@@ -72,9 +75,12 @@ DegreeColoringResult distributed_degree_coloring(const Graph& g, Vertex dmax,
   while (k > target) {
     const LinialParams p = linial_params(k, d);
     if (p.palette() >= k) break;  // no further improvement possible
+    // One synchronous round: every node reads only its neighbors' previous
+    // colors, so the vertex map runs under the executor.
     std::vector<Color> next(static_cast<std::size_t>(n));
-    for (Vertex v = 0; v < n; ++v) {
-      const std::int64_t cv = out.coloring[static_cast<std::size_t>(v)];
+    parallel_for_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
+      const Vertex v = static_cast<Vertex>(i);
+      const std::int64_t cv = out.coloring[i];
       std::int64_t chosen_x = -1;
       for (std::int64_t x = 0; x < p.q && chosen_x < 0; ++x) {
         bool ok = true;
@@ -89,9 +95,9 @@ DegreeColoringResult distributed_degree_coloring(const Graph& g, Vertex dmax,
         if (ok) chosen_x = x;
       }
       SCOL_CHECK(chosen_x >= 0, + "cover-free family must provide a point");
-      next[static_cast<std::size_t>(v)] = static_cast<Color>(
-          chosen_x * p.q + poly_eval(cv, p.q, p.t, chosen_x));
-    }
+      next[i] = static_cast<Color>(chosen_x * p.q +
+                                   poly_eval(cv, p.q, p.t, chosen_x));
+    });
     out.coloring = std::move(next);
     k = p.palette();
     ++out.rounds;
@@ -101,18 +107,21 @@ DegreeColoringResult distributed_degree_coloring(const Graph& g, Vertex dmax,
   // In round for value c (from k-1 down to target), the class {v : color(v)
   // == c} is an independent set; each member picks the smallest color in
   // [0, target) unused by its neighbors (exists: deg <= dmax < target).
+  // The class {v : color(v) == c} is an independent set (the coloring is
+  // proper throughout), so its members' neighbors keep their colors for the
+  // whole round — the in-place update is race-free and order-independent.
   for (std::int64_t c = k - 1; c >= target; --c) {
-    for (Vertex v = 0; v < n; ++v) {
-      if (out.coloring[static_cast<std::size_t>(v)] != c) continue;
+    parallel_for_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
+      if (out.coloring[i] != c) return;
       std::vector<char> used(static_cast<std::size_t>(target), 0);
-      for (Vertex w : g.neighbors(v)) {
+      for (Vertex w : g.neighbors(static_cast<Vertex>(i))) {
         const Color cw = out.coloring[static_cast<std::size_t>(w)];
         if (cw >= 0 && cw < target) used[static_cast<std::size_t>(cw)] = 1;
       }
       Color pick = 0;
       while (used[static_cast<std::size_t>(pick)]) ++pick;
-      out.coloring[static_cast<std::size_t>(v)] = pick;
-    }
+      out.coloring[i] = pick;
+    });
     ++out.rounds;
   }
 

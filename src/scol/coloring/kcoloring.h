@@ -20,6 +20,7 @@
 #include "scol/coloring/types.h"
 #include "scol/graph/graph.h"
 #include "scol/local/ledger.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 
@@ -30,10 +31,11 @@ struct DegreeColoringResult {
 };
 
 /// Proper coloring with colors {0..dmax} of a graph with max degree <=
-/// dmax. Deterministic; initial coloring is the vertex ids.
+/// dmax. Deterministic (identical under every executor); initial coloring
+/// is the vertex ids.
 DegreeColoringResult distributed_degree_coloring(
     const Graph& g, Vertex dmax, RoundLedger* ledger = nullptr,
-    const std::string& phase = "k-coloring");
+    const std::string& phase = "k-coloring", const Executor* executor = nullptr);
 
 /// One Linial reduction step's target palette from k colors at max degree
 /// d: the minimum q^2 over valid (q, t) with q prime, q > d*t and

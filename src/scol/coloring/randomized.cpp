@@ -1,6 +1,9 @@
 #include "scol/coloring/randomized.h"
 
+#include <atomic>
 #include <set>
+
+#include "scol/util/executor.h"
 
 namespace scol {
 
@@ -8,7 +11,8 @@ RandomizedColoringResult randomized_list_coloring(const Graph& g,
                                                   const ListAssignment& lists,
                                                   Rng& rng,
                                                   RoundLedger* ledger,
-                                                  int max_rounds) {
+                                                  int max_rounds,
+                                                  const Executor* executor) {
   const Vertex n = g.num_vertices();
   SCOL_REQUIRE(lists.size() == n);
   SCOL_REQUIRE(lists.canonical(), + "lists must be sorted unique");
@@ -16,19 +20,29 @@ RandomizedColoringResult randomized_list_coloring(const Graph& g,
     SCOL_REQUIRE(static_cast<Vertex>(lists.of(v).size()) >= g.degree(v) + 1,
                  + "randomized list coloring needs (deg+1)-lists");
 
+  const Executor& exec = resolve_executor(executor);
+  // One base seed drawn from the caller's generator; every (vertex, round)
+  // pair then gets its own decorrelated stream, so the draws do not depend
+  // on vertex visitation order and parallel runs match serial runs bit for
+  // bit (and the result is a deterministic function of the caller's seed).
+  const std::uint64_t base_seed = rng.next();
+
   RandomizedColoringResult out;
   out.coloring = empty_coloring(n);
-  Vertex uncolored = n;
+  std::atomic<std::int64_t> colored{0};
   std::vector<Color> proposal(static_cast<std::size_t>(n), kUncolored);
 
-  while (uncolored > 0) {
+  while (colored.load(std::memory_order_relaxed) < n) {
     SCOL_CHECK(out.rounds < max_rounds,
                + "randomized coloring did not converge (astronomically "
                  "unlikely)");
+    const std::uint64_t round_tag = static_cast<std::uint64_t>(out.rounds)
+                                    << 32;
     // Propose: a uniform color from L(v) minus colored neighbors.
-    for (Vertex v = 0; v < n; ++v) {
-      proposal[static_cast<std::size_t>(v)] = kUncolored;
-      if (out.coloring[static_cast<std::size_t>(v)] != kUncolored) continue;
+    parallel_for_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
+      const Vertex v = static_cast<Vertex>(i);
+      proposal[i] = kUncolored;
+      if (out.coloring[i] != kUncolored) return;
       std::set<Color> blocked;
       for (Vertex w : g.neighbors(v)) {
         const Color cw = out.coloring[static_cast<std::size_t>(w)];
@@ -38,25 +52,30 @@ RandomizedColoringResult randomized_list_coloring(const Graph& g,
       for (Color c : lists.of(v))
         if (!blocked.count(c)) free.push_back(c);
       SCOL_CHECK(!free.empty(), + "(deg+1)-lists always leave a free color");
-      proposal[static_cast<std::size_t>(v)] =
-          free[rng.below(free.size())];
-    }
+      Rng vr = Rng::stream(base_seed, round_tag | static_cast<std::uint64_t>(v));
+      proposal[i] = free[vr.below(free.size())];
+    });
     // Resolve: keep the proposal iff no neighbor proposed the same color.
-    for (Vertex v = 0; v < n; ++v) {
-      const Color mine = proposal[static_cast<std::size_t>(v)];
-      if (mine == kUncolored) continue;
-      bool clash = false;
-      for (Vertex w : g.neighbors(v)) {
-        if (proposal[static_cast<std::size_t>(w)] == mine) {
-          clash = true;
-          break;
-        }
-      }
-      if (!clash) {
-        out.coloring[static_cast<std::size_t>(v)] = mine;
-        --uncolored;
-      }
-    }
+    exec.parallel_ranges(
+        static_cast<std::size_t>(n), [&](std::size_t begin, std::size_t end) {
+          std::int64_t local = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const Color mine = proposal[i];
+            if (mine == kUncolored) continue;
+            bool clash = false;
+            for (Vertex w : g.neighbors(static_cast<Vertex>(i))) {
+              if (proposal[static_cast<std::size_t>(w)] == mine) {
+                clash = true;
+                break;
+              }
+            }
+            if (!clash) {
+              out.coloring[i] = mine;
+              ++local;
+            }
+          }
+          if (local > 0) colored.fetch_add(local, std::memory_order_relaxed);
+        });
     out.rounds += 2;  // propose + resolve
   }
   if (ledger != nullptr) ledger->charge("randomized-coloring", out.rounds);

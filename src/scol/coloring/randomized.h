@@ -13,6 +13,7 @@
 #include "scol/coloring/types.h"
 #include "scol/graph/graph.h"
 #include "scol/local/ledger.h"
+#include "scol/util/executor.h"
 #include "scol/util/rng.h"
 
 namespace scol {
@@ -25,8 +26,12 @@ struct RandomizedColoringResult {
 /// Randomized (deg+1)-list-coloring: requires |L(v)| >= deg(v)+1 for all
 /// v. Each round costs 2 LOCAL rounds (propose + resolve). Throws
 /// InternalError if not done after max_rounds (probability ~ n^-c).
+/// Randomness is drawn from per-(vertex, round) streams derived from one
+/// value of `rng`, so the result is a deterministic function of the seed
+/// and identical under every executor.
 RandomizedColoringResult randomized_list_coloring(
     const Graph& g, const ListAssignment& lists, Rng& rng,
-    RoundLedger* ledger = nullptr, int max_rounds = 40'000);
+    RoundLedger* ledger = nullptr, int max_rounds = 40'000,
+    const Executor* executor = nullptr);
 
 }  // namespace scol

@@ -3,12 +3,15 @@
 #include <deque>
 
 #include "scol/graph/bfs.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 
 RulingForest ruling_forest(const Graph& g, const std::vector<char>& in_u,
                            Vertex alpha, RoundLedger* ledger,
-                           const std::string& phase) {
+                           const std::string& phase,
+                           const Executor* executor) {
+  const Executor& exec = resolve_executor(executor);
   const Vertex n = g.num_vertices();
   SCOL_REQUIRE(static_cast<Vertex>(in_u.size()) == n);
   SCOL_REQUIRE(alpha >= 1);
@@ -54,11 +57,11 @@ RulingForest ruling_forest(const Graph& g, const std::vector<char>& in_u,
         }
       }
     }
-    for (Vertex v = 0; v < n; ++v) {
-      if (alive[static_cast<std::size_t>(v)] && ((v >> b) & 1) &&
-          dist[static_cast<std::size_t>(v)] >= 0)
-        alive[static_cast<std::size_t>(v)] = 0;
-    }
+    // Per-vertex elimination is independent (reads dist, writes own flag).
+    parallel_for_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
+      const Vertex v = static_cast<Vertex>(i);
+      if (alive[i] && ((v >> b) & 1) && dist[i] >= 0) alive[i] = 0;
+    });
   }
 
   // --- BFS forest from the survivors, truncated at the depth bound. ---
@@ -93,9 +96,10 @@ RulingForest ruling_forest(const Graph& g, const std::vector<char>& in_u,
   rounds += out.depth_bound;
 
   // Every U-vertex must have been captured (coverage property).
-  for (Vertex v = 0; v < n; ++v)
-    SCOL_CHECK(!in_u[static_cast<std::size_t>(v)] || out.in_forest(v),
+  parallel_for_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
+    SCOL_CHECK(!in_u[i] || out.in_forest(static_cast<Vertex>(i)),
                + "ruling forest must cover U");
+  });
 
   if (ledger != nullptr) ledger->charge(phase, rounds);
   return out;

@@ -19,6 +19,7 @@
 
 #include "scol/graph/graph.h"
 #include "scol/local/ledger.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 
@@ -38,6 +39,7 @@ struct RulingForest {
 /// to U (mask). Roots are elements of U; every U-vertex lies in a tree.
 RulingForest ruling_forest(const Graph& g, const std::vector<char>& in_u,
                            Vertex alpha, RoundLedger* ledger = nullptr,
-                           const std::string& phase = "ruling-forest");
+                           const std::string& phase = "ruling-forest",
+                           const Executor* executor = nullptr);
 
 }  // namespace scol

@@ -12,13 +12,15 @@
 
 #include "scol/graph/graph.h"
 #include "scol/local/ledger.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 
 /// Engine-based reference implementation (tests): after `radius` rounds of
 /// flooding, node v knows exactly the vertex set of B_radius(v).
-std::vector<std::vector<Vertex>> flood_balls_engine(const Graph& g, int radius,
-                                                    RoundLedger* ledger);
+std::vector<std::vector<Vertex>> flood_balls_engine(
+    const Graph& g, int radius, RoundLedger* ledger,
+    const Executor* executor = nullptr);
 
 /// Charges `radius` rounds under `phase` for one simultaneous ball
 /// collection and returns nothing; callers then use graph::ball /

@@ -9,7 +9,8 @@ namespace scol {
 
 std::vector<std::vector<Vertex>> flood_balls_engine(const Graph& g,
                                                     int radius,
-                                                    RoundLedger* ledger) {
+                                                    RoundLedger* ledger,
+                                                    const Executor* executor) {
   // State: the set of vertex ids known so far (sorted). Each round a node
   // merges its neighbors' sets — after r rounds it knows exactly B_r(v).
   using State = std::vector<Vertex>;
@@ -28,7 +29,7 @@ std::vector<std::vector<Vertex>> flood_balls_engine(const Graph& g,
         merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
         return merged;
       },
-      ledger, "flood-balls");
+      EngineOptions{executor, ledger, "flood-balls"});
   return out;
 }
 

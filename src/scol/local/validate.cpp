@@ -3,42 +3,70 @@
 #include <sstream>
 
 namespace scol {
+namespace {
 
-void expect_proper(const Graph& g, const Coloring& c) {
+// True iff v is uncolored or shares its color with a higher-id neighbor.
+bool violates_properness(const Graph& g, const Coloring& c, Vertex v) {
+  if (c[static_cast<std::size_t>(v)] == kUncolored) return true;
+  for (Vertex w : g.neighbors(v)) {
+    if (w > v &&
+        c[static_cast<std::size_t>(v)] == c[static_cast<std::size_t>(w)])
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void expect_proper(const Graph& g, const Coloring& c,
+                   const Executor* executor) {
   SCOL_REQUIRE(static_cast<Vertex>(c.size()) == g.num_vertices(),
                + "coloring size mismatch");
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (c[static_cast<std::size_t>(v)] == kUncolored) {
-      std::ostringstream os;
-      os << "vertex " << v << " left uncolored";
-      throw InternalError(os.str());
-    }
+  const Executor& exec = resolve_executor(executor);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  // Find the smallest offending vertex in parallel (deterministic across
+  // executors), then rebuild its message serially.
+  const std::size_t bad = parallel_min_index(
+      exec, n,
+      [&](std::size_t i) {
+        return violates_properness(g, c, static_cast<Vertex>(i));
+      });
+  if (bad == n) return;
+  const Vertex v = static_cast<Vertex>(bad);
+  std::ostringstream os;
+  if (c[bad] == kUncolored) {
+    os << "vertex " << v << " left uncolored";
+  } else {
     for (Vertex w : g.neighbors(v)) {
-      if (w > v && c[static_cast<std::size_t>(v)] == c[static_cast<std::size_t>(w)]) {
-        std::ostringstream os;
+      if (w > v && c[bad] == c[static_cast<std::size_t>(w)]) {
         os << "edge (" << v << "," << w << ") monochromatic with color "
-           << c[static_cast<std::size_t>(v)];
-        throw InternalError(os.str());
+           << c[bad];
+        break;
       }
     }
   }
+  throw InternalError(os.str());
 }
 
 void expect_proper_list_coloring(const Graph& g, const Coloring& c,
-                                 const ListAssignment& lists) {
-  expect_proper(g, c);
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (!list_contains(lists.of(v), c[static_cast<std::size_t>(v)])) {
-      std::ostringstream os;
-      os << "vertex " << v << " colored " << c[static_cast<std::size_t>(v)]
-         << " outside its list";
-      throw InternalError(os.str());
-    }
-  }
+                                 const ListAssignment& lists,
+                                 const Executor* executor) {
+  expect_proper(g, c, executor);
+  const Executor& exec = resolve_executor(executor);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  const std::size_t bad = parallel_min_index(exec, n, [&](std::size_t i) {
+    return !list_contains(lists.of(static_cast<Vertex>(i)), c[i]);
+  });
+  if (bad == n) return;
+  std::ostringstream os;
+  os << "vertex " << static_cast<Vertex>(bad) << " colored " << c[bad]
+     << " outside its list";
+  throw InternalError(os.str());
 }
 
-void expect_proper_with_at_most(const Graph& g, const Coloring& c, Vertex k) {
-  expect_proper(g, c);
+void expect_proper_with_at_most(const Graph& g, const Coloring& c, Vertex k,
+                                const Executor* executor) {
+  expect_proper(g, c, executor);
   const Vertex used = count_colors(c);
   if (used > k) {
     std::ostringstream os;

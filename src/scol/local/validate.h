@@ -6,17 +6,23 @@
 
 #include "scol/coloring/types.h"
 #include "scol/graph/graph.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 
 /// Throws InternalError with a description unless c is a proper coloring.
-void expect_proper(const Graph& g, const Coloring& c);
+/// The reported violation (smallest vertex id) is identical under every
+/// executor.
+void expect_proper(const Graph& g, const Coloring& c,
+                   const Executor* executor = nullptr);
 
 /// Throws unless c is proper AND respects the lists.
 void expect_proper_list_coloring(const Graph& g, const Coloring& c,
-                                 const ListAssignment& lists);
+                                 const ListAssignment& lists,
+                                 const Executor* executor = nullptr);
 
 /// Throws unless c is proper and uses at most k distinct colors.
-void expect_proper_with_at_most(const Graph& g, const Coloring& c, Vertex k);
+void expect_proper_with_at_most(const Graph& g, const Coloring& c, Vertex k,
+                                const Executor* executor = nullptr);
 
 }  // namespace scol

@@ -17,11 +17,16 @@ class Rng {
     std::uint64_t x = seed;
     for (auto& si : s_) {
       x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      si = z ^ (z >> 31);
+      si = mix64(x);
     }
+  }
+
+  /// Deterministic decorrelated stream: the generator for (seed, stream_id)
+  /// depends only on those two values. LOCAL-engine programs draw one
+  /// stream per (vertex, round), which makes randomness independent of
+  /// vertex visitation order — parallel runs are bit-identical to serial.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id) {
+    return Rng(mix64(seed) ^ mix64(~stream_id));
   }
 
   std::uint64_t next() {
@@ -69,6 +74,12 @@ class Rng {
   }
 
  private:
+  // splitmix64 finalizer.
+  static std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }

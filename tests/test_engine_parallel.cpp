@@ -1,0 +1,247 @@
+// Pluggable-executor runtime: thread pool semantics, and bit-identical
+// serial vs. thread-pool execution (states AND RoundLedger charges) across
+// engine programs, the coloring call sites that accept executors, and
+// seeds. The determinism contract is the whole point of the runtime: a
+// parallel run must be indistinguishable from a serial run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "scol/coloring/ert.h"
+#include "scol/coloring/kcoloring.h"
+#include "scol/coloring/randomized.h"
+#include "scol/coloring/ruling.h"
+#include "scol/coloring/types.h"
+#include "scol/gen/lattice.h"
+#include "scol/gen/planar_random.h"
+#include "scol/gen/random.h"
+#include "scol/local/balls.h"
+#include "scol/local/engine.h"
+#include "scol/local/validate.h"
+#include "scol/util/executor.h"
+#include "scol/util/thread_pool.h"
+
+namespace scol {
+namespace {
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run_chunks(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SequentialJobsReuseWorkers) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.run_chunks(17, [&](std::size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionByChunkIndex) {
+  ThreadPool pool(4);
+  try {
+    pool.run_chunks(64, [&](std::size_t i) {
+      if (i % 2 == 1) throw std::runtime_error("chunk " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 1");
+  }
+  // The pool must still be usable after an exception.
+  std::atomic<int> sum{0};
+  pool.run_chunks(8, [&](std::size_t) { ++sum; });
+  EXPECT_EQ(sum.load(), 8);
+}
+
+TEST(Executor, ParallelRangesCoverExactly) {
+  ThreadPoolExecutor exec(4, /*grain=*/8);
+  std::vector<int> hit(1000, 0);
+  exec.parallel_ranges(hit.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hit[i];
+  });
+  for (int h : hit) EXPECT_EQ(h, 1);
+  // Empty range is a no-op.
+  exec.parallel_ranges(0, [&](std::size_t, std::size_t) { FAIL(); });
+}
+
+// Engine programs must produce identical states and identical ledger
+// charges under serial and thread-pool executors.
+TEST(EngineParallel, FloodingBitIdenticalAcrossExecutors) {
+  ThreadPoolExecutor pool(4, /*grain=*/16);
+  Rng rng(2027);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = gnm(300, 700, rng);
+    for (int r : {0, 1, 3}) {
+      RoundLedger serial_ledger, pool_ledger;
+      const auto serial = flood_balls_engine(g, r, &serial_ledger);
+      const auto parallel = flood_balls_engine(g, r, &pool_ledger, &pool);
+      EXPECT_EQ(serial, parallel);
+      EXPECT_EQ(serial_ledger.total(), pool_ledger.total());
+      EXPECT_EQ(serial_ledger.phase("flood-balls"),
+                pool_ledger.phase("flood-balls"));
+    }
+  }
+}
+
+TEST(EngineParallel, RunSynchronousMatchesOnFamilies) {
+  ThreadPoolExecutor pool(4, /*grain=*/16);
+  Rng rng(2029);
+  const auto min_propagation = [](Vertex, const Vertex& self,
+                                  NeighborStates<Vertex> nb) {
+    Vertex best = self;
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const Vertex d = nb.state(i);
+      if (d >= 0 && (best < 0 || d + 1 < best)) best = d + 1;
+    }
+    return best;
+  };
+  for (const Graph& g : {gnm(500, 1200, rng), grid(22, 23),
+                         random_stacked_triangulation(400, rng)}) {
+    std::vector<Vertex> init(static_cast<std::size_t>(g.num_vertices()), -1);
+    init[0] = 0;
+    const auto serial = run_synchronous(g, init, 9, min_propagation);
+    const auto parallel = run_synchronous(
+        g, init, 9, min_propagation, EngineOptions{&pool, nullptr, "engine"});
+    EXPECT_EQ(serial, parallel);
+  }
+}
+
+TEST(EngineParallel, RunUntilStableMatchesRoundsAndStates) {
+  ThreadPoolExecutor pool(4, /*grain=*/16);
+  Rng rng(2031);
+  const Graph g = gnm(400, 900, rng);
+  std::vector<int> init(static_cast<std::size_t>(g.num_vertices()), 0);
+  init[7] = 1;
+  const auto max_spread = [](Vertex, const int& self, NeighborStates<int> nb) {
+    int best = self;
+    for (std::size_t i = 0; i < nb.size(); ++i)
+      best = std::max(best, nb.state(i));
+    return best;
+  };
+  RoundLedger serial_ledger, pool_ledger;
+  auto [s_states, s_used] = run_until_stable(
+      g, init, 1000, max_spread,
+      EngineOptions{nullptr, &serial_ledger, "spread"});
+  auto [p_states, p_used] = run_until_stable(
+      g, init, 1000, max_spread, EngineOptions{&pool, &pool_ledger, "spread"});
+  EXPECT_EQ(s_states, p_states);
+  EXPECT_EQ(s_used, p_used);
+  EXPECT_EQ(serial_ledger.phase("spread"), pool_ledger.phase("spread"));
+}
+
+TEST(EngineParallel, RandomizedColoringBitIdenticalPerSeed) {
+  ThreadPoolExecutor pool(4, /*grain=*/16);
+  Rng g_rng(2033);
+  for (const Graph& g :
+       {gnm(250, 600, g_rng), grid(14, 15), random_regular(200, 4, g_rng)}) {
+    const ListAssignment lists = uniform_lists(
+        g.num_vertices(), static_cast<Color>(g.max_degree() + 1));
+    for (std::uint64_t seed : {1ULL, 42ULL, 2026ULL}) {
+      Rng serial_rng(seed), pool_rng(seed);
+      RoundLedger serial_ledger, pool_ledger;
+      const auto serial = randomized_list_coloring(g, lists, serial_rng,
+                                                   &serial_ledger, 40'000);
+      const auto parallel = randomized_list_coloring(
+          g, lists, pool_rng, &pool_ledger, 40'000, &pool);
+      EXPECT_EQ(serial.coloring, parallel.coloring);
+      EXPECT_EQ(serial.rounds, parallel.rounds);
+      EXPECT_EQ(serial_ledger.phase("randomized-coloring"),
+                pool_ledger.phase("randomized-coloring"));
+      expect_proper_list_coloring(g, parallel.coloring, lists, &pool);
+    }
+  }
+}
+
+TEST(EngineParallel, DegreeColoringBitIdentical) {
+  ThreadPoolExecutor pool(4, /*grain=*/16);
+  Rng rng(2039);
+  for (Vertex d : {3, 5}) {
+    const Graph g = random_regular(240, d, rng);
+    RoundLedger serial_ledger, pool_ledger;
+    const auto serial =
+        distributed_degree_coloring(g, d, &serial_ledger, "k-coloring");
+    const auto parallel = distributed_degree_coloring(
+        g, d, &pool_ledger, "k-coloring", &pool);
+    EXPECT_EQ(serial.coloring, parallel.coloring);
+    EXPECT_EQ(serial.rounds, parallel.rounds);
+    EXPECT_EQ(serial.palette, parallel.palette);
+    EXPECT_EQ(serial_ledger.total(), pool_ledger.total());
+    expect_proper_with_at_most(g, parallel.coloring, d + 1, &pool);
+  }
+}
+
+TEST(EngineParallel, RulingForestBitIdentical) {
+  ThreadPoolExecutor pool(4, /*grain=*/16);
+  Rng rng(2041);
+  const Graph g = gnm(350, 800, rng);
+  std::vector<char> in_u(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (Vertex v = 0; v < g.num_vertices(); v += 3)
+    in_u[static_cast<std::size_t>(v)] = 1;
+  for (Vertex alpha : {2, 5}) {
+    RoundLedger serial_ledger, pool_ledger;
+    const RulingForest serial =
+        ruling_forest(g, in_u, alpha, &serial_ledger, "ruling");
+    const RulingForest parallel =
+        ruling_forest(g, in_u, alpha, &pool_ledger, "ruling", &pool);
+    EXPECT_EQ(serial.root, parallel.root);
+    EXPECT_EQ(serial.parent, parallel.parent);
+    EXPECT_EQ(serial.depth, parallel.depth);
+    EXPECT_EQ(serial.roots, parallel.roots);
+    EXPECT_EQ(serial.max_depth, parallel.max_depth);
+    EXPECT_EQ(serial_ledger.phase("ruling"), pool_ledger.phase("ruling"));
+  }
+}
+
+TEST(EngineParallel, DegreeChoosableColoringBitIdentical) {
+  ThreadPoolExecutor pool(4, /*grain=*/16);
+  Rng rng(2047);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Graph g = random_non_gallai(120, rng);
+    AvailableLists avail(static_cast<std::size_t>(g.num_vertices()));
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      auto& list = avail[static_cast<std::size_t>(v)];
+      for (Color c = 0; c < g.degree(v); ++c) list.push_back(c);
+    }
+    const Coloring serial = degree_choosable_coloring(g, avail);
+    const Coloring parallel = degree_choosable_coloring(g, avail, &pool);
+    EXPECT_EQ(serial, parallel);
+  }
+}
+
+TEST(EngineParallel, ValidatorsReportIdenticalViolations) {
+  ThreadPoolExecutor pool(4, /*grain=*/4);
+  const Graph g = grid(10, 10);
+  Coloring bad(static_cast<std::size_t>(g.num_vertices()), 0);  // all equal
+  std::string serial_msg, pool_msg;
+  try {
+    expect_proper(g, bad);
+  } catch (const InternalError& e) {
+    serial_msg = e.what();
+  }
+  try {
+    expect_proper(g, bad, &pool);
+  } catch (const InternalError& e) {
+    pool_msg = e.what();
+  }
+  EXPECT_FALSE(serial_msg.empty());
+  EXPECT_EQ(serial_msg, pool_msg);
+}
+
+TEST(RngStream, StreamsAreDeterministicAndDecorrelated) {
+  Rng a = Rng::stream(99, 7);
+  Rng b = Rng::stream(99, 7);
+  Rng c = Rng::stream(99, 8);
+  Rng d = Rng::stream(100, 7);
+  const std::uint64_t a0 = a.next();
+  EXPECT_EQ(a0, b.next());
+  EXPECT_NE(a0, c.next());
+  EXPECT_NE(a0, d.next());
+}
+
+}  // namespace
+}  // namespace scol

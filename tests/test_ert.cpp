@@ -14,16 +14,6 @@
 namespace scol {
 namespace {
 
-AvailableLists degree_lists(const Graph& g, const ListAssignment& pool) {
-  AvailableLists out(static_cast<std::size_t>(g.num_vertices()));
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    const auto& l = pool.of(v);
-    out[static_cast<std::size_t>(v)] =
-        std::vector<Color>(l.begin(), l.begin() + g.degree(v));
-  }
-  return out;
-}
-
 void check(const Graph& g, const AvailableLists& avail, const Coloring& c) {
   expect_proper(g, c);
   for (Vertex v = 0; v < g.num_vertices(); ++v)

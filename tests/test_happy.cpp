@@ -99,8 +99,9 @@ TEST(Happy, Lemma31BoundOnFamilies) {
     const double n = static_cast<double>(g.num_vertices());
     EXPECT_GE(h.num_happy, n / ((3.0 * d) * (3.0 * d) * (3.0 * d)))
         << describe(g) << " d=" << d;
-    if (h.num_poor == 0)
+    if (h.num_poor == 0) {
       EXPECT_GE(h.num_happy, n / (12.0 * d + 1.0)) << describe(g);
+    }
   };
   check(random_regular(200, 3, rng), 3);
   check(random_regular(200, 6, rng), 6);
@@ -116,8 +117,9 @@ TEST(Happy, PoorVerticesAreNeverHappy) {
   const Graph g = gnm(80, 200, rng);
   const HappyAnalysis h = compute_happy_set(g, 4, 5);
   for (Vertex v = 0; v < 80; ++v) {
-    if (!h.rich[static_cast<std::size_t>(v)])
+    if (!h.rich[static_cast<std::size_t>(v)]) {
       EXPECT_FALSE(h.happy[static_cast<std::size_t>(v)]);
+    }
   }
   EXPECT_EQ(h.num_rich + h.num_poor, 80);
 }

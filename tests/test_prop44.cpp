@@ -74,9 +74,10 @@ TEST(Figure4, HubsHaveDegreeAtLeastThree) {
     const Graph gs = random_gallai_tree(6, 5, rng);
     const Figure4Construction f = figure4_construction(gs);
     for (Vertex v = 0; v < f.h.num_vertices(); ++v) {
-      if (f.to_original[static_cast<std::size_t>(v)] < 0)
+      if (f.to_original[static_cast<std::size_t>(v)] < 0) {
         EXPECT_GE(f.h.degree(v), 3);  // paper: "all vertices v_C have
                                       // degree at least 3"
+      }
     }
   }
 }

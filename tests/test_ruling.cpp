@@ -36,13 +36,18 @@ TEST_P(RulingForestProperty, AllInvariants) {
   const RulingForest rf = ruling_forest(g, in_u, p.alpha, &ledger);
 
   // (1) Every U-vertex lies in some tree.
-  for (Vertex v = 0; v < p.n; ++v)
-    if (in_u[static_cast<std::size_t>(v)]) EXPECT_TRUE(rf.in_forest(v));
+  for (Vertex v = 0; v < p.n; ++v) {
+    if (in_u[static_cast<std::size_t>(v)]) {
+      EXPECT_TRUE(rf.in_forest(v));
+    }
+  }
 
   // Roots are U-vertices.
   for (Vertex r : rf.roots)
     EXPECT_TRUE(in_u[static_cast<std::size_t>(r)]) << "root " << r;
-  if (u_count > 0) EXPECT_FALSE(rf.roots.empty());
+  if (u_count > 0) {
+    EXPECT_FALSE(rf.roots.empty());
+  }
 
   // (2) Roots pairwise >= alpha apart.
   for (Vertex r : rf.roots) {
@@ -50,7 +55,9 @@ TEST_P(RulingForestProperty, AllInvariants) {
     for (Vertex r2 : rf.roots) {
       if (r2 == r) continue;
       const Vertex d = dist[static_cast<std::size_t>(r2)];
-      if (d >= 0) EXPECT_GE(d, p.alpha) << r << " vs " << r2;
+      if (d >= 0) {
+        EXPECT_GE(d, p.alpha) << r << " vs " << r2;
+      }
     }
   }
 

@@ -70,8 +70,9 @@ TEST_P(DerivedSweep, ValidColoring) {
   expect_proper_list_coloring(g, *r.coloring, lists);
   // With identical lists, "d-list-colorable" means at most d distinct
   // colors; with per-vertex lists the guarantee is the list SIZE d.
-  if (!c.random_lists_mode)
+  if (!c.random_lists_mode) {
     EXPECT_LE(count_colors(*r.coloring), static_cast<Vertex>(d));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
