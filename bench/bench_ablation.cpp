@@ -1,4 +1,6 @@
-// E10 — ablations on the design choices DESIGN.md calls out.
+// E10 — ablations on the design choices DESIGN.md calls out, driven
+// through the unified solver API (radius overrides travel as request
+// params; stalls come back as kFailed reports instead of exceptions).
 //
 //  (a) Ball-radius constant c: the proof needs c = 12/ln(6/5) ~ 65.8; how
 //      small can the radius get before peeling stalls, and what does the
@@ -8,6 +10,7 @@
 //      bound * (d+1)).
 //  (c) Peel-count behaviour at small radii (the O(d^3 log n) general bound
 //      becomes visible only when sad/poor vertices survive peels).
+//  (d) Randomized vs deterministic round counts (paper §6).
 #include <iostream>
 
 #include "scol/scol.h"
@@ -21,17 +24,20 @@ int main() {
   const Graph grid_g = grid(32, 32);
   const Graph reg = random_regular(1024, 4, rng);
 
+  RunContext ctx;
+  ctx.validate = true;
+
   Table t({"graph", "radius", "outcome", "peels", "rounds"});
   const auto try_radius = [&](const char* name, const Graph& g,
                               Vertex radius) {
-    SparseOptions opts;
-    opts.radius_override = radius;
     const ListAssignment lists = uniform_lists(g.num_vertices(), 4);
-    try {
-      const SparseResult r = list_color_sparse(g, 4, lists, opts);
-      expect_proper_list_coloring(g, *r.coloring, lists);
-      t.row(name, radius, "ok", r.peels.size(), r.ledger.total());
-    } catch (const PreconditionError&) {
+    ColoringRequest req = make_request("sparse", g, lists);
+    req.k = 4;
+    req.params.set_int("radius", radius);
+    const ColoringReport r = solve(req, ctx);
+    if (r.ok()) {
+      t.row(name, radius, "ok", r.metrics.get_int("peels", -1), r.rounds);
+    } else {
       t.row(name, radius, "STALL", "-", "-");
     }
   };
@@ -88,14 +94,18 @@ int main() {
     Rng rng3(99);
     const Graph g = random_regular(n, 4, rng3);
     // (deg+1)-lists for the randomized algorithm; d-lists for Thm 1.3.
-    ListAssignment lists5 = uniform_lists(n, 5);
-    Rng run_rng(1);
-    const RandomizedColoringResult rr =
-        randomized_list_coloring(g, lists5, run_rng);
-    const SparseResult det = list_color_sparse(g, 4, uniform_lists(n, 4));
-    t4.row(n, rr.rounds, det.ledger.total(),
-           static_cast<double>(det.ledger.total()) /
-               static_cast<double>(rr.rounds));
+    const ListAssignment lists5 = uniform_lists(n, 5);
+    const ListAssignment lists4 = uniform_lists(n, 4);
+    RunContext run_ctx;
+    run_ctx.seed = 1;
+    run_ctx.validate = true;
+    const ColoringReport rr =
+        solve(make_request("randomized", g, lists5), run_ctx);
+    ColoringRequest det_req = make_request("sparse", g, lists4);
+    det_req.k = 4;
+    const ColoringReport det = solve(det_req, run_ctx);
+    t4.row(n, rr.rounds, det.rounds,
+           static_cast<double>(det.rounds) / static_cast<double>(rr.rounds));
   }
   t4.print();
 

@@ -24,18 +24,18 @@ int main() {
       const Vertex a_exact = n <= 2048 ? arboricity_exact(g) : a;
       const ListAssignment lists =
           uniform_lists(n, static_cast<Color>(2 * a));
-      const SparseResult ours = arboricity_list_coloring(g, a, lists);
+      const ColoringReport ours = arboricity_list_coloring(g, a, lists);
       expect_proper_list_coloring(g, *ours.coloring, lists);
-      const PeelColoringResult be01 = barenboim_elkin_coloring(g, a, 0.1);
-      const PeelColoringResult be1 = barenboim_elkin_coloring(g, a, 1.0);
-      expect_proper_with_at_most(g, be01.coloring,
+      const ColoringReport be01 = barenboim_elkin_coloring(g, a, 0.1);
+      const ColoringReport be1 = barenboim_elkin_coloring(g, a, 1.0);
+      expect_proper_with_at_most(g, *be01.coloring,
                                  barenboim_elkin_palette(a, 0.1));
-      expect_proper_with_at_most(g, be1.coloring,
+      expect_proper_with_at_most(g, *be1.coloring,
                                  barenboim_elkin_palette(a, 1.0));
       t.row(n, a_exact, 2 * a, count_colors(*ours.coloring),
             ours.ledger.total(), barenboim_elkin_palette(a, 0.1),
-            count_colors(be01.coloring), be01.ledger.total(),
-            barenboim_elkin_palette(a, 1.0), count_colors(be1.coloring),
+            count_colors(*be01.coloring), be01.ledger.total(),
+            barenboim_elkin_palette(a, 1.0), count_colors(*be1.coloring),
             be1.ledger.total());
     }
   }

@@ -58,7 +58,7 @@ int main() {
     const ListAssignment lists = random_lists(
         g.num_vertices(), static_cast<Color>(delta),
         static_cast<Color>(delta + 5), rng);
-    const DeltaListResult r = delta_list_coloring(g, lists);
+    const ColoringReport r = delta_list_coloring(g, lists);
     std::string outcome = "colored";
     Vertex colors = 0;
     if (r.coloring.has_value()) {
@@ -84,14 +84,14 @@ int main() {
   Table t2({"instance", "lists", "outcome"});
   {
     const Graph g = disjoint_union(complete(5), grid(8, 8));
-    const DeltaListResult same =
+    const ColoringReport same =
         delta_list_coloring(g, uniform_lists(g.num_vertices(), 4));
     t2.row("K5 + grid, Delta=4", "identical 4-lists",
-           same.infeasible_clique.has_value() ? "UNSAT (K5 certificate)"
-                                              : "colored (?)");
+           same.status == SolveStatus::kInfeasible ? "UNSAT (K5 certificate)"
+                                                   : "colored (?)");
     ListAssignment mixed = uniform_lists(g.num_vertices(), 4);
     mixed.lists[2] = {1, 2, 3, 9};
-    const DeltaListResult ok = delta_list_coloring(g, mixed);
+    const ColoringReport ok = delta_list_coloring(g, mixed);
     t2.row("K5 + grid, Delta=4", "one list differs",
            ok.coloring.has_value() ? "colored via SDR matching" : "UNSAT (?)");
   }
@@ -102,10 +102,10 @@ int main() {
   const auto run_nice = [&](const char* family, const Graph& g) {
     const ListAssignment lists =
         tight_nice_lists(g, static_cast<Color>(g.max_degree() + 6), rng);
-    const NiceResult r = nice_list_coloring(g, lists);
+    const ColoringReport r = nice_list_coloring(g, lists);
     bool valid = true;
     try {
-      expect_proper_list_coloring(g, r.coloring, lists);
+      expect_proper_list_coloring(g, *r.coloring, lists);
     } catch (const std::exception&) {
       valid = false;
     }

@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
     const double serial_s = seconds_since(t0);
     const auto t1 = Clock::now();
     const auto parallel =
-        randomized_list_coloring(g, lists, rng_pool, nullptr, 40'000, &pool);
+        randomized_list_coloring(g, lists, rng_pool, nullptr, &pool);
     const double pool_s = seconds_since(t1);
     r.row(f.name, serial.rounds, serial_s, pool_s, serial_s / pool_s,
           serial.coloring == parallel.coloring ? "yes" : "NO");

@@ -1,4 +1,4 @@
-// E1 — Theorem 1.3: round complexity scaling.
+// E1 — Theorem 1.3: round complexity scaling, driven through scol::solve.
 //
 // Paper claims: O(d^4 log^3 n) rounds in general, O(d^2 log^3 n) when the
 // max degree is at most d; peel count k = O(d^3 log n) in general,
@@ -16,27 +16,25 @@ using namespace scol;
 int main() {
   std::cout << "E1 / Theorem 1.3: rounds and peels vs n (uniform d-lists)\n"
             << "families: d-regular (degree-bounded branch), union-of-forests"
-               " and G(n,m) (general branch)\n\n";
+               " and G(n,m) (general branch)\n"
+            << "driven through solve(\"sparse\") with validating contexts\n\n";
 
   Table t({"family", "d", "n", "peels", "rounds", "rounds/log2^3(n)",
            "colors<=d", "valid"});
 
   Rng rng(20260610);
+  RunContext ctx;
+  ctx.validate = true;  // solve() re-checks every coloring independently
   const auto run = [&](const char* family, const Graph& g, Vertex d) {
     const ListAssignment lists =
         uniform_lists(g.num_vertices(), static_cast<Color>(d));
-    const SparseResult r = list_color_sparse(g, d, lists);
+    ColoringRequest req = make_request("sparse", g, lists);
+    req.k = d;
+    const ColoringReport r = solve(req, ctx);
     const double l = std::log2(static_cast<double>(g.num_vertices()));
-    bool valid = true;
-    try {
-      expect_proper_list_coloring(g, *r.coloring, lists);
-    } catch (const std::exception&) {
-      valid = false;
-    }
-    t.row(family, d, g.num_vertices(), r.peels.size(), r.ledger.total(),
-          static_cast<double>(r.ledger.total()) / (l * l * l),
-          count_colors(*r.coloring) <= d ? "yes" : "NO",
-          valid ? "yes" : "NO");
+    t.row(family, d, g.num_vertices(), r.metrics.get_int("peels", -1),
+          r.rounds, static_cast<double>(r.rounds) / (l * l * l),
+          r.colors_used <= d ? "yes" : "NO", r.ok() ? "yes" : "NO");
   };
 
   for (Vertex n : {256, 512, 1024, 2048, 4096}) {
@@ -54,7 +52,10 @@ int main() {
   std::cout << "\nround breakdown at n=2048, d=4 (regular):\n";
   {
     const Graph g = random_regular(2048, 4, rng);
-    const SparseResult r = list_color_sparse(g, 4, uniform_lists(2048, 4));
+    const ListAssignment lists = uniform_lists(2048, 4);
+    ColoringRequest req = make_request("sparse", g, lists);
+    req.k = 4;
+    const ColoringReport r = solve(req, ctx);
     for (const auto& [phase, rounds] : r.ledger.breakdown())
       std::cout << "  " << phase << ": " << rounds << "\n";
   }

@@ -1,6 +1,9 @@
 // P — wall-clock microbenchmarks (google-benchmark): substrate primitives
-// and end-to-end colorings. These are engineering numbers (simulation
-// throughput), not LOCAL rounds.
+// and end-to-end colorings through the unified scol::solve() entry point.
+// These are engineering numbers (simulation throughput), not LOCAL rounds.
+//
+// CI runs this with --benchmark_format=json and uploads the output as an
+// artifact — the start of the perf trajectory.
 #include <benchmark/benchmark.h>
 
 #include "scol/scol.h"
@@ -13,6 +16,8 @@ Graph make_regular(Vertex n, Vertex d) {
   Rng rng(12345);
   return random_regular(n, d, rng);
 }
+
+// --- Substrate primitives. ---
 
 void BM_BfsBall(benchmark::State& state) {
   const Graph g = make_regular(static_cast<Vertex>(state.range(0)), 4);
@@ -62,6 +67,15 @@ void BM_HappySet(benchmark::State& state) {
 }
 BENCHMARK(BM_HappySet)->Arg(1024)->Arg(8192);
 
+void BM_HappySetParallel(benchmark::State& state) {
+  const Graph g = make_regular(static_cast<Vertex>(state.range(0)), 4);
+  const Vertex rho = paper_ball_radius(g.num_vertices());
+  ThreadPoolExecutor pool;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compute_happy_set(g, 4, rho, &pool));
+}
+BENCHMARK(BM_HappySetParallel)->Arg(8192);
+
 void BM_RulingForest(benchmark::State& state) {
   const Graph g = make_regular(static_cast<Vertex>(state.range(0)), 4);
   std::vector<char> u(static_cast<std::size_t>(g.num_vertices()), 1);
@@ -77,31 +91,69 @@ void BM_DistributedDPlus1(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedDPlus1)->Arg(1024)->Arg(8192);
 
-void BM_EndToEndSixColorPlanar(benchmark::State& state) {
+// --- End-to-end through the unified API. ---
+
+// Registry dispatch + request validation overhead: a trivial graph, so the
+// measured time is solve() machinery, not algorithm work.
+void BM_SolveDispatchOverhead(benchmark::State& state) {
+  const Graph g = path(2);
+  const ColoringRequest req = make_request("greedy", g);
+  RunContext ctx;
+  for (auto _ : state) benchmark::DoNotOptimize(solve(req, ctx));
+}
+BENCHMARK(BM_SolveDispatchOverhead);
+
+void BM_SolveSixColorPlanar(benchmark::State& state) {
   Rng rng(17);
   const Graph g = random_stacked_triangulation(
       static_cast<Vertex>(state.range(0)), rng);
   const ListAssignment lists = uniform_lists(g.num_vertices(), 6);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(planar_six_list_coloring(g, lists));
+  const ColoringRequest req = make_request("planar6", g, lists);
+  RunContext ctx;
+  for (auto _ : state) benchmark::DoNotOptimize(solve(req, ctx));
 }
-BENCHMARK(BM_EndToEndSixColorPlanar)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolveSixColorPlanar)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
-void BM_EndToEndRegular(benchmark::State& state) {
+void BM_SolveSparseRegular(benchmark::State& state) {
   const Graph g = make_regular(static_cast<Vertex>(state.range(0)), 4);
   const ListAssignment lists = uniform_lists(g.num_vertices(), 4);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(list_color_sparse(g, 4, lists));
+  ColoringRequest req = make_request("sparse", g, lists);
+  req.k = 4;
+  RunContext ctx;
+  for (auto _ : state) benchmark::DoNotOptimize(solve(req, ctx));
 }
-BENCHMARK(BM_EndToEndRegular)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolveSparseRegular)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
 
-void BM_GpsPlanar(benchmark::State& state) {
+void BM_SolveSparseRegularParallel(benchmark::State& state) {
+  const Graph g = make_regular(static_cast<Vertex>(state.range(0)), 4);
+  const ListAssignment lists = uniform_lists(g.num_vertices(), 4);
+  ColoringRequest req = make_request("sparse", g, lists);
+  req.k = 4;
+  ThreadPoolExecutor pool;
+  RunContext ctx;
+  ctx.executor = &pool;
+  for (auto _ : state) benchmark::DoNotOptimize(solve(req, ctx));
+}
+BENCHMARK(BM_SolveSparseRegularParallel)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_SolveGpsPlanar(benchmark::State& state) {
   Rng rng(19);
   const Graph g = random_stacked_triangulation(
       static_cast<Vertex>(state.range(0)), rng);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(gps_planar_seven_coloring(g));
+  const ColoringRequest req = make_request("gps", g);
+  RunContext ctx;
+  for (auto _ : state) benchmark::DoNotOptimize(solve(req, ctx));
 }
-BENCHMARK(BM_GpsPlanar)->Arg(1024)->Arg(8192)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolveGpsPlanar)->Arg(1024)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+void BM_ReportToJson(benchmark::State& state) {
+  Rng rng(23);
+  const Graph g = random_stacked_triangulation(512, rng);
+  const ListAssignment lists = uniform_lists(g.num_vertices(), 6);
+  const ColoringReport report = solve(make_request("planar6", g, lists));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(to_json(report, /*include_coloring=*/true).dump());
+}
+BENCHMARK(BM_ReportToJson);
 
 }  // namespace

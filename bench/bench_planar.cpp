@@ -23,14 +23,14 @@ int main() {
   const auto run = [&](const char* family, const Graph& g) {
     const double l = std::log2(static_cast<double>(g.num_vertices()));
     const Coloring greedy = degeneracy_coloring(g);
-    const PeelColoringResult gps = gps_planar_seven_coloring(g);
+    const ColoringReport gps = gps_planar_seven_coloring(g);
     const ListAssignment lists = uniform_lists(g.num_vertices(), 6);
-    const SparseResult ours = planar_six_list_coloring(g, lists);
+    const ColoringReport ours = planar_six_list_coloring(g, lists);
     expect_proper(g, greedy);
-    expect_proper_with_at_most(g, gps.coloring, 7);
+    expect_proper_with_at_most(g, *gps.coloring, 7);
     expect_proper_list_coloring(g, *ours.coloring, lists);
     t.row(family, g.num_vertices(), count_colors(greedy),
-          count_colors(gps.coloring), gps.ledger.total(),
+          count_colors(*gps.coloring), gps.ledger.total(),
           static_cast<double>(gps.ledger.total()) / l,
           count_colors(*ours.coloring), ours.ledger.total(),
           static_cast<double>(ours.ledger.total()) / (l * l * l));

@@ -6,6 +6,7 @@
 //
 // Corollary 2.3(1): 6-entry channel lists always suffice on planar
 // interference graphs, and the assignment is computed distributedly.
+// Runs through scol::solve() with telemetry wired into the RunContext.
 //
 //   $ ./frequency_assignment [rows] [cols]
 #include <cstdlib>
@@ -29,13 +30,21 @@ int main(int argc, char** argv) {
   const ListAssignment licensed =
       random_lists(mesh.num_vertices(), 6, kChannels, rng);
 
-  const SparseResult r = planar_six_list_coloring(mesh, licensed);
-  expect_proper_list_coloring(mesh, *r.coloring, licensed);
+  RunContext ctx;
+  ctx.validate = true;
+  ctx.telemetry = [](const TelemetryEvent& ev) {
+    if (ev.kind == TelemetryEvent::Kind::kPhase)
+      std::cout << "  [telemetry] " << ev.phase << ": " << ev.rounds
+                << " rounds\n";
+  };
+  std::cout << "solving (phases as they are accounted):\n";
+  const ColoringReport r =
+      solve(make_request("planar6", mesh, licensed), ctx);
 
   // Channel usage histogram.
   std::vector<int> usage(kChannels, 0);
   for (Color c : *r.coloring) ++usage[static_cast<std::size_t>(c)];
-  std::cout << "assignment found in " << r.ledger.total()
+  std::cout << "assignment found in " << r.rounds
             << " LOCAL rounds; channel usage:\n";
   for (Color ch = 0; ch < kChannels; ++ch)
     std::cout << "  channel " << ch << ": " << usage[static_cast<std::size_t>(ch)]

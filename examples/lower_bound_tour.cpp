@@ -64,10 +64,27 @@ int main() {
     t.print();
   }
 
-  std::cout << "\nContrast (Grotzsch): triangle-free planar graphs ARE\n"
-               "3-colorable sequentially — chi(grid) = "
-            << chromatic_number(grid(7, 7))
-            << " — but no distributed algorithm reaches 3 colors in o(n)\n"
+  // Contrast through the unified API: the exact solver (registry name
+  // "exact") 3-colors the grid sequentially; the distributed Cor. 2.3(2)
+  // algorithm ("planar4-trianglefree") needs 4 colors but polylog rounds —
+  // exactly the gap the lower bounds above prove unavoidable.
+  {
+    const Graph g = grid(7, 7);
+    ColoringRequest exact_req = make_request("exact", g);
+    exact_req.k = 3;
+    const ColoringReport seq = solve(exact_req);
+    const ListAssignment lists = uniform_lists(g.num_vertices(), 4);
+    const ColoringReport dist =
+        solve(make_request("planar4-trianglefree", g, lists));
+    std::cout << "\nContrast on the 7x7 grid via scol::solve():\n"
+              << "  exact (sequential):        " << to_string(seq.status)
+              << " with " << seq.colors_used << " colors, 0 rounds\n"
+              << "  Cor. 2.3(2) (distributed): " << to_string(dist.status)
+              << " with " << dist.colors_used << " colors, " << dist.rounds
+              << " rounds\n";
+  }
+  std::cout << "\nTriangle-free planar graphs ARE 3-colorable sequentially,\n"
+               "but no distributed algorithm reaches 3 colors in o(n)\n"
                "rounds, while Cor. 2.3(2) achieves 4 in polylog(n).\n";
   return 0;
 }

@@ -1,5 +1,8 @@
-// Quickstart: 6-list-color a planar graph with the paper's main algorithm
-// (Corollary 2.3(1)) and inspect the result.
+// Quickstart: solve a coloring request with the unified API.
+//
+// Every algorithm in the library sits behind scol::solve(): build a
+// ColoringRequest (graph + lists + algorithm name), a RunContext (how to
+// run: executor, seed, budgets), and read back a ColoringReport.
 //
 //   $ ./quickstart
 #include <iostream>
@@ -17,21 +20,33 @@ int main() {
   // size >= 6 would work too (the algorithm is a list-coloring algorithm).
   const ListAssignment lists = uniform_lists(g.num_vertices(), 6);
 
-  const SparseResult result = planar_six_list_coloring(g, lists);
+  // The paper's headline: planar graphs are 6-list-colorable in polylog
+  // LOCAL rounds (Corollary 2.3(1), algorithm "planar6" in the registry).
+  const ColoringRequest request = make_request("planar6", g, lists);
+  RunContext ctx;
+  ctx.validate = true;  // independent proper/list check inside solve()
+  const ColoringReport report = solve(request, ctx);
 
-  const Coloring& coloring = *result.coloring;
-  expect_proper_list_coloring(g, coloring, lists);  // independent validation
-
-  std::cout << "colors used:  " << count_colors(coloring) << " (<= 6)\n";
-  std::cout << "LOCAL rounds: " << result.ledger.total() << "\n";
-  std::cout << "peel levels:  " << result.peels.size() << "\n";
+  std::cout << "status:       " << to_string(report.status) << "\n";
+  std::cout << "colors used:  " << report.colors_used << " (<= 6)\n";
+  std::cout << "LOCAL rounds: " << report.rounds << "\n";
+  std::cout << "peel levels:  " << report.metrics.get_int("peels", 0) << "\n";
+  std::cout << "wall time:    " << report.wall_ms << " ms\n";
   std::cout << "round breakdown:\n";
-  for (const auto& [phase, rounds] : result.ledger.breakdown())
+  for (const auto& [phase, rounds] : report.ledger.breakdown())
     std::cout << "  " << phase << ": " << rounds << "\n";
 
+  const Coloring& coloring = *report.coloring;
   std::cout << "first row of the grid: ";
   for (Vertex j = 0; j < 20; ++j)
     std::cout << coloring[static_cast<std::size_t>(j)] << " ";
   std::cout << "\n";
+
+  // The same report, as the JSON that scol-cli emits.
+  std::cout << "\nas JSON: " << to_json(report).dump() << "\n";
+
+  // The registry knows every algorithm; try `scol-cli --list-algos`.
+  std::cout << "\nregistered algorithms: "
+            << AlgorithmRegistry::instance().size() << "\n";
   return 0;
 }

@@ -1,0 +1,13 @@
+// Umbrella header for the unified solver API (see DESIGN.md "Solver
+// API"): request/report/context types, the algorithm and scenario
+// registries, scol::solve(), and the JSON report writer.
+#pragma once
+
+#include "scol/api/context.h"
+#include "scol/api/json.h"
+#include "scol/api/params.h"
+#include "scol/api/registry.h"
+#include "scol/api/report.h"
+#include "scol/api/request.h"
+#include "scol/api/scenario.h"
+#include "scol/api/solve.h"

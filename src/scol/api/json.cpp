@@ -1,0 +1,225 @@
+#include "scol/api/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace scol {
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::real(double v) {
+  Json j;
+  j.kind_ = Kind::kReal;
+  j.real_ = v;
+  return j;
+}
+
+Json Json::str(std::string v) {
+  Json j;
+  j.kind_ = Kind::kStr;
+  j.str_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArr;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObj;
+  return j;
+}
+
+Json Json::from_param(const ParamBag::Value& v) {
+  if (std::holds_alternative<std::int64_t>(v))
+    return integer(std::get<std::int64_t>(v));
+  if (std::holds_alternative<double>(v)) return real(std::get<double>(v));
+  if (std::holds_alternative<bool>(v)) return boolean(std::get<bool>(v));
+  return str(std::get<std::string>(v));
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  SCOL_REQUIRE(kind_ == Kind::kObj, + "set() needs a JSON object");
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  SCOL_REQUIRE(kind_ == Kind::kArr, + "push() needs a JSON array");
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+             : "";
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kReal: {
+      if (std::isfinite(real_)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", real_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no inf/nan
+      }
+      break;
+    }
+    case Kind::kStr:
+      out += '"' + json_escape(str_) + '"';
+      break;
+    case Kind::kArr: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        out += pad;
+        arr_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < arr_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Kind::kObj: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        out += pad;
+        out += '"' + json_escape(obj_[i].first) + '"';
+        out += colon;
+        obj_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < obj_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json to_json(const ParamBag& bag) {
+  Json obj = Json::object();
+  for (const auto& [name, value] : bag.items())
+    obj.set(name, Json::from_param(value));
+  return obj;
+}
+
+Json to_json(const ColoringReport& report, bool include_coloring) {
+  Json obj = Json::object();
+  obj.set("algorithm", Json::str(report.algorithm));
+  obj.set("status", Json::str(to_string(report.status)));
+  obj.set("colors_used", Json::integer(report.colors_used));
+  obj.set("rounds", Json::integer(report.rounds));
+  obj.set("wall_ms", Json::real(report.wall_ms));
+
+  Json ledger = Json::object();
+  for (const auto& [phase, rounds] : report.ledger.breakdown())
+    ledger.set(phase, Json::integer(rounds));
+  obj.set("ledger", std::move(ledger));
+  obj.set("metrics", to_json(report.metrics));
+
+  obj.set("deadline_exceeded", Json::boolean(report.deadline_exceeded));
+  obj.set("round_budget_exceeded",
+          Json::boolean(report.round_budget_exceeded));
+
+  if (!report.failure_reason.empty())
+    obj.set("failure_reason", Json::str(report.failure_reason));
+  if (report.certificate.has_value()) {
+    obj.set("certificate_kind", Json::str(report.certificate_kind));
+    Json cert = Json::array();
+    for (const Vertex v : *report.certificate) cert.push(Json::integer(v));
+    obj.set("certificate", std::move(cert));
+  }
+  if (include_coloring && report.coloring.has_value()) {
+    Json colors = Json::array();
+    for (const Color c : *report.coloring) colors.push(Json::integer(c));
+    obj.set("coloring", std::move(colors));
+  }
+  return obj;
+}
+
+}  // namespace scol

@@ -1,0 +1,63 @@
+// Minimal JSON value tree and the ColoringReport serializer.
+//
+// scol-cli emits every run as one machine-readable JSON report — the
+// ingestion format a future sharded/batched/service backend consumes, and
+// the thing CI's schema check validates. The writer is deliberately tiny
+// (objects keep insertion order; no parser): enough for reports,
+// telemetry dumps, and bench output without an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scol/api/params.h"
+#include "scol/api/report.h"
+
+namespace scol {
+
+class Json {
+ public:
+  Json() = default;  // null
+  static Json boolean(bool v);
+  static Json integer(std::int64_t v);
+  static Json real(double v);
+  static Json str(std::string v);
+  static Json array();
+  static Json object();
+  static Json from_param(const ParamBag::Value& v);
+
+  /// Object field (insertion-ordered; replaces an existing key).
+  Json& set(const std::string& key, Json value);
+  /// Array element.
+  Json& push(Json value);
+
+  /// Compact serialization (indent < 0) or pretty with `indent` spaces.
+  std::string dump(int indent = -1) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kReal, kStr, kArr, kObj };
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double real_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+std::string json_escape(const std::string& s);
+
+/// The ParamBag as a JSON object (insertion order preserved).
+Json to_json(const ParamBag& bag);
+
+/// The full report: algorithm, status, colors_used, rounds, wall_ms,
+/// ledger breakdown, metrics, certificate/failure when present, and the
+/// coloring itself when include_coloring is set.
+Json to_json(const ColoringReport& report, bool include_coloring = false);
+
+}  // namespace scol

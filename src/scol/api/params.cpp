@@ -1,0 +1,40 @@
+#include "scol/api/params.h"
+
+#include <cstdlib>
+
+namespace scol {
+
+void parse_param(ParamBag& bag, const std::string& key_eq_value) {
+  const std::size_t eq = key_eq_value.find('=');
+  const std::string key = key_eq_value.substr(0, eq);
+  SCOL_REQUIRE(!key.empty(), + "param key must be non-empty");
+  if (eq == std::string::npos) {
+    bag.set_flag(key, true);
+    return;
+  }
+  const std::string val = key_eq_value.substr(eq + 1);
+  if (val == "true") {
+    bag.set_flag(key, true);
+    return;
+  }
+  if (val == "false") {
+    bag.set_flag(key, false);
+    return;
+  }
+  if (!val.empty()) {
+    char* end = nullptr;
+    const long long as_int = std::strtoll(val.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0') {
+      bag.set_int(key, static_cast<std::int64_t>(as_int));
+      return;
+    }
+    const double as_real = std::strtod(val.c_str(), &end);
+    if (end != nullptr && *end == '\0') {
+      bag.set_real(key, as_real);
+      return;
+    }
+  }
+  bag.set_str(key, val);
+}
+
+}  // namespace scol

@@ -1,0 +1,50 @@
+#include "scol/api/registry.h"
+
+#include <algorithm>
+
+namespace scol {
+
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    register_builtin_algorithms(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void AlgorithmRegistry::add(AlgorithmInfo info) {
+  SCOL_REQUIRE(!info.name.empty(), + "algorithm name must be non-empty");
+  SCOL_REQUIRE(static_cast<bool>(info.run),
+               + "algorithm must have a run function");
+  SCOL_REQUIRE(find(info.name) == nullptr,
+               + ("duplicate algorithm name '" + info.name + "'"));
+  algorithms_.push_back(std::move(info));
+}
+
+const AlgorithmInfo* AlgorithmRegistry::find(const std::string& name) const {
+  for (const auto& a : algorithms_)
+    if (a.name == name) return &a;
+  return nullptr;
+}
+
+const AlgorithmInfo& AlgorithmRegistry::at(const std::string& name) const {
+  const AlgorithmInfo* a = find(name);
+  if (a == nullptr) {
+    std::string known;
+    for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+    throw PreconditionError("unknown algorithm '" + name + "'; known: " +
+                            known);
+  }
+  return *a;
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(algorithms_.size());
+  for (const auto& a : algorithms_) out.push_back(a.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace scol

@@ -1,0 +1,71 @@
+// AlgorithmRegistry: every coloring algorithm in the library behind one
+// name-indexed table.
+//
+// A registration is a name, a one-line summary, capability flags (what
+// the algorithm needs from the request and what its reports can contain),
+// and the run function. scol::solve() dispatches through the registry;
+// the CLI, benches, and tests enumerate it. Built-ins are registered
+// lazily on first instance() access (safe against static-library
+// dead-stripping); downstream code can add its own algorithms with add().
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scol/api/context.h"
+#include "scol/api/report.h"
+#include "scol/api/request.h"
+
+namespace scol {
+
+struct AlgorithmCaps {
+  bool needs_lists = false;    // request.lists must be set
+  bool uses_k = false;         // reads request.k (or derives it)
+  bool randomized = false;     // consumes RunContext::seed
+  bool distributed = false;    // charges LOCAL rounds to the ledger
+  /// True iff this algorithm can return kInfeasible reports (a proof that
+  /// no solution exists — with or without a certificate object).
+  bool proves_infeasibility = false;
+  /// Witness kinds this algorithm's kInfeasible reports can carry (empty
+  /// = its proofs, if any, are non-constructive, like exhaustive search).
+  std::vector<std::string> certificate_kinds;
+};
+
+struct AlgorithmInfo {
+  std::string name;
+  std::string summary;  // includes the params it reads
+  AlgorithmCaps caps;
+  std::function<ColoringReport(const ColoringRequest&, RunContext&)> run;
+};
+
+class AlgorithmRegistry {
+ public:
+  /// The process-wide registry, with all built-ins registered.
+  static AlgorithmRegistry& instance();
+
+  /// Registers an algorithm; throws PreconditionError on a duplicate name
+  /// or a missing run function.
+  void add(AlgorithmInfo info);
+
+  const AlgorithmInfo* find(const std::string& name) const;
+
+  /// Like find(), but throws PreconditionError listing known names.
+  const AlgorithmInfo& at(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return algorithms_.size(); }
+
+  const std::vector<AlgorithmInfo>& all() const { return algorithms_; }
+
+ private:
+  std::vector<AlgorithmInfo> algorithms_;
+};
+
+/// Registers every built-in algorithm (idempotent per registry; defined
+/// in solve.cpp next to the wrappers it registers).
+void register_builtin_algorithms(AlgorithmRegistry& registry);
+
+}  // namespace scol

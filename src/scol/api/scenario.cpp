@@ -1,0 +1,193 @@
+#include "scol/api/scenario.h"
+
+#include <algorithm>
+
+#include "scol/gen/circulant.h"
+#include "scol/gen/lattice.h"
+#include "scol/gen/planar_random.h"
+#include "scol/gen/random.h"
+#include "scol/gen/special.h"
+
+namespace scol {
+namespace {
+
+Vertex geti(const ParamBag& p, const char* key, std::int64_t def) {
+  return static_cast<Vertex>(p.get_int(key, def));
+}
+
+void register_builtin_scenarios(ScenarioRegistry& r) {
+  // --- Lattices (planar and surface workloads). ---
+  r.add({"grid", "planar grid; rows=20, cols=20",
+         [](const ParamBag& p, Rng&) {
+           return grid(geti(p, "rows", 20), geti(p, "cols", 20));
+         }});
+  r.add({"cylinder", "planar cylinder; rows=16, cols=16",
+         [](const ParamBag& p, Rng&) {
+           return cylinder(geti(p, "rows", 16), geti(p, "cols", 16));
+         }});
+  r.add({"torus", "torus quadrangulation (genus 1); rows=12, cols=12",
+         [](const ParamBag& p, Rng&) {
+           return torus_grid(geti(p, "rows", 12), geti(p, "cols", 12));
+         }});
+  r.add({"torus-tri", "triangulated torus grid; rows=8, cols=8",
+         [](const ParamBag& p, Rng&) {
+           return torus_triangulation(geti(p, "rows", 8), geti(p, "cols", 8));
+         }});
+  r.add({"klein", "Klein-bottle quadrangulation (Figure 2); k=9, l=9",
+         [](const ParamBag& p, Rng&) {
+           return klein_grid(geti(p, "k", 9), geti(p, "l", 9));
+         }});
+  r.add({"hex", "hexagonal girth-6 patch; rows=16, cols=16",
+         [](const ParamBag& p, Rng&) {
+           return hex_patch(geti(p, "rows", 16), geti(p, "cols", 16));
+         }});
+
+  // --- Random planar families (Corollary 2.3 workloads). ---
+  r.add({"planar", "random stacked (Apollonian) triangulation; n=400",
+         [](const ParamBag& p, Rng& rng) {
+           return random_stacked_triangulation(geti(p, "n", 400), rng);
+         }});
+  r.add({"grid-diag", "grid with random diagonals; rows=16, cols=16",
+         [](const ParamBag& p, Rng& rng) {
+           return grid_random_diagonals(geti(p, "rows", 16),
+                                        geti(p, "cols", 16), rng);
+         }});
+  r.add({"subhex", "vertex-deleted hex patch (girth >= 6); rows=20, "
+                   "cols=20, p=0.1",
+         [](const ParamBag& p, Rng& rng) {
+           return random_subhex(geti(p, "rows", 20), geti(p, "cols", 20),
+                                p.get_real("p", 0.1), rng);
+         }});
+
+  // --- Random sparse families (Theorem 1.3 / Corollary 1.4 workloads). ---
+  r.add({"gnm", "random simple graph with m edges; n=512, m=717",
+         [](const ParamBag& p, Rng& rng) {
+           const Vertex n = geti(p, "n", 512);
+           return gnm(n, p.get_int("m", static_cast<std::int64_t>(1.4 * n)),
+                      rng);
+         }});
+  r.add({"tree", "uniform random labelled tree; n=512",
+         [](const ParamBag& p, Rng& rng) {
+           return random_tree(geti(p, "n", 512), rng);
+         }});
+  r.add({"forest", "union of a random spanning trees (arboricity <= a); "
+                   "n=512, a=2",
+         [](const ParamBag& p, Rng& rng) {
+           return random_forest_union(geti(p, "n", 512), geti(p, "a", 2),
+                                      rng);
+         }});
+  r.add({"regular", "random d-regular graph; n=512, d=4",
+         [](const ParamBag& p, Rng& rng) {
+           return random_regular(geti(p, "n", 512), geti(p, "d", 4), rng);
+         }});
+  r.add({"gallai", "random Gallai tree; blocks=40, max_clique=5",
+         [](const ParamBag& p, Rng& rng) {
+           return random_gallai_tree(geti(p, "blocks", 40),
+                                     geti(p, "max_clique", 5), rng);
+         }});
+  r.add({"non-gallai", "random connected non-Gallai graph; n=64",
+         [](const ParamBag& p, Rng& rng) {
+           return random_non_gallai(geti(p, "n", 64), rng);
+         }});
+
+  // --- Circulants and powers (lower-bound gadgets). ---
+  r.add({"cycle-power", "k-th power of the cycle C_n; n=48, k=3",
+         [](const ParamBag& p, Rng&) {
+           return cycle_power(geti(p, "n", 48), geti(p, "k", 3));
+         }});
+  r.add({"path-power", "k-th power of the path P_n; n=48, k=3",
+         [](const ParamBag& p, Rng&) {
+           return path_power(geti(p, "n", 48), geti(p, "k", 3));
+         }});
+
+  // --- Named classics. ---
+  r.add({"complete", "complete graph K_n; n=8",
+         [](const ParamBag& p, Rng&) { return complete(geti(p, "n", 8)); }});
+  r.add({"bipartite", "complete bipartite K_{a,b}; a=4, b=4",
+         [](const ParamBag& p, Rng&) {
+           return complete_bipartite(geti(p, "a", 4), geti(p, "b", 4));
+         }});
+  r.add({"cycle", "cycle C_n; n=32",
+         [](const ParamBag& p, Rng&) { return cycle(geti(p, "n", 32)); }});
+  r.add({"path", "path P_n; n=32",
+         [](const ParamBag& p, Rng&) { return path(geti(p, "n", 32)); }});
+  r.add({"star", "star with l leaves; leaves=16",
+         [](const ParamBag& p, Rng&) { return star(geti(p, "leaves", 16)); }});
+  r.add({"petersen", "Petersen graph ((3,5)-cage)",
+         [](const ParamBag&, Rng&) { return petersen(); }});
+  r.add({"heawood", "Heawood graph ((3,6)-cage)",
+         [](const ParamBag&, Rng&) { return heawood(); }});
+  r.add({"mcgee", "McGee graph ((3,7)-cage)",
+         [](const ParamBag&, Rng&) { return mcgee(); }});
+  r.add({"grotzsch", "Grötzsch graph (triangle-free, chi = 4)",
+         [](const ParamBag&, Rng&) { return grotzsch(); }});
+}
+
+}  // namespace
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::add(ScenarioInfo info) {
+  SCOL_REQUIRE(!info.name.empty(), + "scenario name must be non-empty");
+  SCOL_REQUIRE(static_cast<bool>(info.build),
+               + "scenario must have a build function");
+  SCOL_REQUIRE(find(info.name) == nullptr,
+               + ("duplicate scenario name '" + info.name + "'"));
+  scenarios_.push_back(std::move(info));
+}
+
+const ScenarioInfo* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& s : scenarios_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const ScenarioInfo& ScenarioRegistry::at(const std::string& name) const {
+  const ScenarioInfo* s = find(name);
+  if (s == nullptr) {
+    std::string known;
+    for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+    throw PreconditionError("unknown scenario '" + name + "'; known: " +
+                            known);
+  }
+  return *s;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::pair<std::string, ParamBag> parse_scenario_spec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  std::pair<std::string, ParamBag> out;
+  out.first = spec.substr(0, colon);
+  SCOL_REQUIRE(!out.first.empty(), + "scenario spec needs a name");
+  if (colon == std::string::npos) return out;
+  std::string rest = spec.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    std::size_t comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    if (comma > pos) parse_param(out.second, rest.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Graph build_scenario(const std::string& spec, Rng& rng) {
+  const auto [name, params] = parse_scenario_spec(spec);
+  return ScenarioRegistry::instance().at(name).build(params, rng);
+}
+
+}  // namespace scol

@@ -1,0 +1,53 @@
+// ScenarioRegistry: every graph generator in gen/* behind one
+// name-indexed table, drivable from a flat textual spec.
+//
+// A scenario spec is "name" or "name:key=val,key=val", e.g.
+//   "grid:rows=20,cols=20"   "regular:n=512,d=4"   "petersen"
+// Values lex as int / real / flag / string (see parse_param). Every
+// scenario has defaults, so the bare name always builds; randomized
+// families draw from the Rng the caller passes (deterministic per seed).
+//
+// This is the CLI's --gen vocabulary and the fixture source for the
+// registry round-trip tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scol/api/params.h"
+#include "scol/graph/graph.h"
+#include "scol/util/rng.h"
+
+namespace scol {
+
+struct ScenarioInfo {
+  std::string name;
+  std::string summary;  // family + the params it reads with defaults
+  std::function<Graph(const ParamBag&, Rng&)> build;
+};
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry, with all gen/* families registered.
+  static ScenarioRegistry& instance();
+
+  void add(ScenarioInfo info);
+  const ScenarioInfo* find(const std::string& name) const;
+  /// Like find(), but throws PreconditionError listing known names.
+  const ScenarioInfo& at(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::size_t size() const { return scenarios_.size(); }
+  const std::vector<ScenarioInfo>& all() const { return scenarios_; }
+
+ private:
+  std::vector<ScenarioInfo> scenarios_;
+};
+
+/// Splits "name:key=val,..." into (name, params).
+std::pair<std::string, ParamBag> parse_scenario_spec(const std::string& spec);
+
+/// Parses the spec, looks up the scenario, builds the graph.
+Graph build_scenario(const std::string& spec, Rng& rng);
+
+}  // namespace scol

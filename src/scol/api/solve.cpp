@@ -1,0 +1,383 @@
+#include "scol/api/solve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "scol/coloring/barenboim_elkin.h"
+#include "scol/coloring/derived.h"
+#include "scol/coloring/ert.h"
+#include "scol/coloring/exact.h"
+#include "scol/coloring/gps.h"
+#include "scol/coloring/greedy.h"
+#include "scol/coloring/kcoloring.h"
+#include "scol/coloring/nice.h"
+#include "scol/coloring/randomized.h"
+#include "scol/coloring/sdr.h"
+#include "scol/coloring/sparse.h"
+#include "scol/graph/cliques.h"
+
+namespace scol {
+namespace {
+
+// --- Shared request decoding helpers. ---
+
+SparseOptions sparse_options(const ColoringRequest& req, RunContext& ctx) {
+  SparseOptions opts;
+  opts.ball_constant = req.params.get_real("ball_constant", opts.ball_constant);
+  opts.radius_override =
+      static_cast<Vertex>(req.params.get_int("radius", opts.radius_override));
+  opts.max_peels =
+      static_cast<Vertex>(req.params.get_int("max_peels", opts.max_peels));
+  opts.executor = ctx.executor;
+  return opts;
+}
+
+// d for the Theorem 1.3 family: explicit param, then request.k, then the
+// min list size.
+Vertex sparse_d(const ColoringRequest& req) {
+  const std::int64_t from_param = req.params.get_int("d", -1);
+  if (from_param > 0) return static_cast<Vertex>(from_param);
+  if (req.k > 0) return req.k;
+  return static_cast<Vertex>(req.lists->min_list_size());
+}
+
+std::vector<Vertex> identity_order(Vertex n) {
+  std::vector<Vertex> order(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  return order;
+}
+
+ColoringReport from_optional(std::optional<Coloring> c, const char* stuck) {
+  if (c.has_value()) return ColoringReport::colored(std::move(*c));
+  return ColoringReport::failed(stuck);
+}
+
+ColoringReport from_exact(std::optional<Coloring> c) {
+  if (c.has_value()) return ColoringReport::colored(std::move(*c));
+  // Exhaustive search: nullopt is a proof of infeasibility.
+  ColoringReport out;
+  out.status = SolveStatus::kInfeasible;
+  return out;
+}
+
+Vertex required_int(const ColoringRequest& req, const char* key) {
+  const std::int64_t v = req.params.get_int(key, -1);
+  SCOL_REQUIRE(v > 0, + (std::string("algorithm '") + req.algorithm +
+                         "' needs param '" + key + "'"));
+  return static_cast<Vertex>(v);
+}
+
+AlgorithmCaps caps(bool needs_lists, bool uses_k, bool randomized,
+                   bool distributed,
+                   std::vector<std::string> certificate_kinds = {}) {
+  AlgorithmCaps c;
+  c.needs_lists = needs_lists;
+  c.uses_k = uses_k;
+  c.randomized = randomized;
+  c.distributed = distributed;
+  c.proves_infeasibility = !certificate_kinds.empty();
+  c.certificate_kinds = std::move(certificate_kinds);
+  return c;
+}
+
+// Exhaustive search proves infeasibility without a witness object.
+AlgorithmCaps exact_caps(bool needs_lists, bool uses_k) {
+  AlgorithmCaps c = caps(needs_lists, uses_k, false, false);
+  c.proves_infeasibility = true;
+  return c;
+}
+
+}  // namespace
+
+void register_builtin_algorithms(AlgorithmRegistry& r) {
+  // --- The paper's pipeline (Theorem 1.3 and friends). ---
+  r.add({"sparse",
+         "Theorem 1.3: d-list-coloring for d >= max(3, mad); params: d "
+         "(default k or min list size), ball_constant, radius, max_peels",
+         caps(true, true, false, true, {"clique"}),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           return report_from_sparse(
+               list_color_sparse(*req.graph, sparse_d(req), *req.lists,
+                                 sparse_options(req, ctx)),
+               "");
+         }});
+  r.add({"nice",
+         "Theorem 6.1: list-coloring for nice assignments (|L(v)| >= "
+         "deg(v), +1 on small-degree/clique-neighborhood vertices)",
+         caps(true, false, false, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           return nice_list_coloring(*req.graph, *req.lists,
+                                     sparse_options(req, ctx));
+         }});
+  r.add({"planar6",
+         "Corollary 2.3(1): 6-list-coloring of planar graphs",
+         caps(true, false, false, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           return planar_six_list_coloring(*req.graph, *req.lists,
+                                           sparse_options(req, ctx));
+         }});
+  r.add({"planar4-trianglefree",
+         "Corollary 2.3(2): 4-list-coloring of triangle-free planar graphs",
+         caps(true, false, false, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           return triangle_free_planar_four_list_coloring(
+               *req.graph, *req.lists, sparse_options(req, ctx));
+         }});
+  r.add({"planar3-girth6",
+         "Corollary 2.3(3): 3-list-coloring of girth >= 6 planar graphs",
+         caps(true, false, false, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           return girth_six_planar_three_list_coloring(
+               *req.graph, *req.lists, sparse_options(req, ctx));
+         }});
+  r.add({"arboricity",
+         "Corollary 1.4: 2a-list-coloring; params: arboricity (or k = 2a)",
+         caps(true, true, false, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           const Vertex a = static_cast<Vertex>(req.params.get_int(
+               "arboricity", req.k > 0 ? req.k / 2 : -1));
+           return arboricity_list_coloring(*req.graph, a, *req.lists,
+                                           sparse_options(req, ctx));
+         }});
+  r.add({"genus",
+         "Corollary 2.11: H(gamma)-list-coloring; params: genus",
+         caps(true, false, false, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           return genus_list_coloring(*req.graph,
+                                      required_int(req, "genus"), *req.lists,
+                                      sparse_options(req, ctx));
+         }});
+  r.add({"genus-sharp",
+         "Corollary 2.11 (sharp): (H(gamma)-1)-list-coloring or a K_H "
+         "certificate; params: genus (with 24*genus+1 a perfect square)",
+         caps(true, false, false, true, {"clique"}),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           return genus_list_coloring_sharp(*req.graph,
+                                            required_int(req, "genus"),
+                                            *req.lists,
+                                            sparse_options(req, ctx));
+         }});
+  r.add({"delta-list",
+         "Corollary 2.1: Delta-list-coloring or a no-SDR K_{Delta+1} "
+         "certificate (max degree >= 3)",
+         caps(true, false, false, true, {"no-sdr-clique"}),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           return delta_list_coloring(*req.graph, *req.lists,
+                                      sparse_options(req, ctx));
+         }});
+  r.add({"ert",
+         "Constructive Theorem 1.1 (Borodin; ERT): degree-choosable "
+         "coloring of a connected non-Gallai (or surplus) graph",
+         caps(true, false, false, false),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           AvailableLists avail(req.lists->lists.begin(),
+                                req.lists->lists.end());
+           return ColoringReport::colored(
+               degree_choosable_coloring(*req.graph, avail, ctx.executor));
+         }});
+
+  // --- Baselines. ---
+  r.add({"randomized",
+         "Randomized (deg+1)-list-coloring (paper §6): O(log n) rounds "
+         "w.h.p.; seed from RunContext, iteration cap from round_budget",
+         caps(true, false, true, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           Rng rng = ctx.make_rng();
+           const int max_rounds =
+               ctx.round_budget > 0
+                   ? static_cast<int>(std::max<std::int64_t>(
+                         1, ctx.round_budget / 2))
+                   : 40'000;
+           return randomized_list_coloring(*req.graph, *req.lists, rng,
+                                           nullptr, ctx.executor, max_rounds);
+         }});
+  r.add({"linial",
+         "Linial color reduction to a (dmax+1)-coloring (k = palette, "
+         "default max degree + 1)",
+         caps(false, true, false, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           const Vertex dmax =
+               req.k > 0 ? req.k - 1 : req.graph->max_degree();
+           ColoringReport out;
+           DegreeColoringResult dc = distributed_degree_coloring(
+               *req.graph, dmax, &out.ledger, ctx.executor);
+           out.status = SolveStatus::kColored;
+           out.coloring = std::move(dc.coloring);
+           out.metrics.set_int("palette", dc.palette);
+           out.sync_derived_fields();
+           return out;
+         }});
+  r.add({"gps",
+         "Goldberg-Plotkin-Shannon peel-and-recolor; params: threshold "
+         "(default k-1, else 6 = planar)",
+         caps(false, true, false, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           const Vertex threshold = static_cast<Vertex>(req.params.get_int(
+               "threshold", req.k > 0 ? req.k - 1 : 6));
+           return peel_threshold_coloring(*req.graph, threshold,
+                                          ctx.executor);
+         }});
+  r.add({"barenboim-elkin",
+         "Barenboim-Elkin H-partition coloring: floor((2+eps)a)+1 colors; "
+         "params: arboricity, eps (default 1.0)",
+         caps(false, false, false, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           const Vertex a = required_int(req, "arboricity");
+           const double eps = req.params.get_real("eps", 1.0);
+           ColoringReport out =
+               barenboim_elkin_coloring(*req.graph, a, eps, ctx.executor);
+           out.metrics.set_int("palette", barenboim_elkin_palette(a, eps));
+           return out;
+         }});
+  r.add({"greedy",
+         "Sequential greedy in vertex-id order",
+         caps(false, false, false, false),
+         [](const ColoringRequest& req, RunContext&) {
+           return ColoringReport::colored(greedy_coloring(
+               *req.graph, identity_order(req.graph->num_vertices())));
+         }});
+  r.add({"degeneracy",
+         "Greedy in reverse degeneracy order: <= floor(mad)+1 colors",
+         caps(false, false, false, false),
+         [](const ColoringRequest& req, RunContext&) {
+           return ColoringReport::colored(degeneracy_coloring(*req.graph));
+         }});
+  r.add({"dsatur",
+         "DSATUR saturation-degree heuristic",
+         caps(false, false, false, false),
+         [](const ColoringRequest& req, RunContext&) {
+           return ColoringReport::colored(dsatur_coloring(*req.graph));
+         }});
+  r.add({"degeneracy-list",
+         "Greedy list-coloring in reverse degeneracy order (succeeds when "
+         "every list exceeds the degeneracy)",
+         caps(true, false, false, false),
+         [](const ColoringRequest& req, RunContext&) {
+           return from_optional(
+               degeneracy_list_coloring(*req.graph, *req.lists),
+               "degeneracy greedy found a vertex with no free list color");
+         }});
+
+  // --- Exact solvers and special substrates. ---
+  r.add({"exact",
+         "Exact k-coloring by backtracking (k required; params: "
+         "node_budget)",
+         exact_caps(false, true),
+         [](const ColoringRequest& req, RunContext&) {
+           SCOL_REQUIRE(req.k > 0, + "algorithm 'exact' needs request.k");
+           return from_exact(find_k_coloring(
+               *req.graph, req.k,
+               req.params.get_int("node_budget", 50'000'000)));
+         }});
+  r.add({"exact-list",
+         "Exact list-coloring by MRV backtracking (params: node_budget)",
+         exact_caps(true, false),
+         [](const ColoringRequest& req, RunContext&) {
+           return from_exact(find_list_coloring(
+               *req.graph, *req.lists,
+               req.params.get_int("node_budget", 50'000'000)));
+         }});
+  r.add({"sdr",
+         "SDR clique coloring (Corollary 2.1 substrate): the graph must "
+         "be one clique; colors by bipartite matching or certifies no SDR",
+         caps(true, false, false, false, {"no-sdr-clique"}),
+         [](const ColoringRequest& req, RunContext&) {
+           const Vertex n = req.graph->num_vertices();
+           std::vector<Vertex> all(static_cast<std::size_t>(n));
+           for (Vertex v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+           SCOL_REQUIRE(is_clique(*req.graph, all),
+                        + "algorithm 'sdr' needs a complete graph");
+           auto c = color_clique_by_sdr(*req.graph, all, *req.lists);
+           if (!c.has_value())
+             return ColoringReport::infeasible(all, "no-sdr-clique");
+           return ColoringReport::colored(std::move(*c));
+         }});
+}
+
+ColoringReport solve(const ColoringRequest& request, RunContext& ctx) {
+  SCOL_REQUIRE(request.graph != nullptr, + "request needs a graph");
+  const AlgorithmInfo& info =
+      AlgorithmRegistry::instance().at(request.algorithm);
+  if (info.caps.needs_lists) {
+    SCOL_REQUIRE(request.lists != nullptr,
+                 + ("algorithm '" + info.name + "' needs lists"));
+    SCOL_REQUIRE(request.lists->size() == request.graph->num_vertices(),
+                 + "one list per vertex");
+  }
+
+  if (ctx.telemetry) {
+    TelemetryEvent ev;
+    ev.kind = TelemetryEvent::Kind::kSolveStart;
+    ev.algorithm = info.name;
+    ctx.telemetry(ev);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  ColoringReport report;
+  try {
+    report = info.run(request, ctx);
+  } catch (const PreconditionError& e) {
+    report = ColoringReport::failed(e.what());
+  } catch (const InternalError& e) {
+    report = ColoringReport::failed(e.what());
+  }
+  report.algorithm = info.name;
+  report.sync_derived_fields();
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Budget verdicts (post-hoc: solve() cannot interrupt a kernel).
+  report.round_budget_exceeded =
+      ctx.round_budget >= 0 && report.rounds > ctx.round_budget;
+  report.deadline_exceeded =
+      ctx.deadline_ms >= 0 && report.wall_ms > ctx.deadline_ms;
+
+  // Independent validation, never trusting the algorithm's own checks.
+  // Failures demote the report in place so the ledger, rounds, wall time,
+  // and budget verdicts of the offending run survive for debugging.
+  if (ctx.validate && report.coloring.has_value()) {
+    const char* why = nullptr;
+    if (!is_proper(*request.graph, *report.coloring)) {
+      why = "validation: coloring is not proper";
+    } else if (request.lists != nullptr &&
+               !respects_lists(*report.coloring, *request.lists)) {
+      why = "validation: coloring ignores lists";
+    }
+    if (why != nullptr) {
+      report.status = SolveStatus::kFailed;
+      report.failure_reason = why;
+      report.coloring.reset();
+      report.colors_used = 0;
+    }
+  }
+
+  if (ctx.ledger != nullptr) ctx.ledger->merge(report.ledger);
+
+  if (ctx.telemetry) {
+    for (const auto& [phase, rounds] : report.ledger.breakdown()) {
+      TelemetryEvent ev;
+      ev.kind = TelemetryEvent::Kind::kPhase;
+      ev.algorithm = info.name;
+      ev.phase = phase;
+      ev.rounds = rounds;
+      ctx.telemetry(ev);
+    }
+    TelemetryEvent ev;
+    ev.kind = TelemetryEvent::Kind::kSolveEnd;
+    ev.algorithm = info.name;
+    ev.rounds = report.rounds;
+    ev.wall_ms = report.wall_ms;
+    ctx.telemetry(ev);
+  }
+  return report;
+}
+
+ColoringReport solve(const ColoringRequest& request) {
+  RunContext ctx;
+  return solve(request, ctx);
+}
+
+}  // namespace scol

@@ -1,0 +1,32 @@
+// scol::solve() — the one entry point every workload sits on.
+//
+//   ColoringRequest req = make_request("sparse", g, lists);
+//   RunContext ctx;            // executor, seed, budgets, telemetry
+//   ColoringReport rep = solve(req, ctx);
+//
+// solve() dispatches through the AlgorithmRegistry, times the run, keeps
+// rounds/colors_used in sync with the ledger, applies the context's
+// budget verdicts, optionally validates the coloring independently, and
+// reports algorithm failures (stalls, stuck greedy, exhausted search
+// budgets) as kFailed reports instead of exceptions — request *misuse*
+// (no graph, missing lists, unknown algorithm) still throws
+// PreconditionError.
+//
+// The same request solved under a SerialExecutor and a
+// ThreadPoolExecutor produces bit-identical reports (modulo wall_ms);
+// tests/test_api.cpp asserts this across the registry.
+#pragma once
+
+#include "scol/api/context.h"
+#include "scol/api/registry.h"
+#include "scol/api/report.h"
+#include "scol/api/request.h"
+
+namespace scol {
+
+ColoringReport solve(const ColoringRequest& request, RunContext& ctx);
+
+/// Convenience overload with a default (serial, default-seed) context.
+ColoringReport solve(const ColoringRequest& request);
+
+}  // namespace scol

@@ -11,10 +11,11 @@ Vertex barenboim_elkin_palette(Vertex arboricity, double eps) {
          1;
 }
 
-PeelColoringResult barenboim_elkin_coloring(const Graph& g, Vertex arboricity,
-                                            double eps) {
+ColoringReport barenboim_elkin_coloring(const Graph& g, Vertex arboricity,
+                                        double eps,
+                                        const Executor* executor) {
   const Vertex palette = barenboim_elkin_palette(arboricity, eps);
-  return peel_threshold_coloring(g, palette - 1);
+  return peel_threshold_coloring(g, palette - 1, executor);
 }
 
 }  // namespace scol

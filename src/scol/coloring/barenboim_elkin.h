@@ -13,8 +13,9 @@ namespace scol {
 
 /// Barenboim–Elkin: floor((2+eps)a)+1 colors. Throws PreconditionError if
 /// the arboricity promise is violated (peel stalls).
-PeelColoringResult barenboim_elkin_coloring(const Graph& g, Vertex arboricity,
-                                            double eps);
+ColoringReport barenboim_elkin_coloring(const Graph& g, Vertex arboricity,
+                                        double eps,
+                                        const Executor* executor = nullptr);
 
 /// The color count floor((2+eps)a) + 1 the algorithm guarantees.
 Vertex barenboim_elkin_palette(Vertex arboricity, double eps);

@@ -9,43 +9,42 @@
 namespace scol {
 namespace {
 
-SparseResult run_with_promise(const Graph& g, Vertex d,
-                              const ListAssignment& lists,
-                              const SparseOptions& opts,
-                              const char* promise) {
+ColoringReport run_with_promise(const Graph& g, Vertex d,
+                                const ListAssignment& lists,
+                                const SparseOptions& opts,
+                                const char* promise) {
   SparseResult r = list_color_sparse(g, d, lists, opts);
   if (r.clique.has_value()) {
     throw PreconditionError(std::string("promise violated (") + promise +
                             "): found a K_{d+1}");
   }
-  return r;
+  return report_from_sparse(std::move(r), "");
 }
 
 }  // namespace
 
-SparseResult planar_six_list_coloring(const Graph& g,
-                                      const ListAssignment& lists,
-                                      const SparseOptions& opts) {
+ColoringReport planar_six_list_coloring(const Graph& g,
+                                        const ListAssignment& lists,
+                                        const SparseOptions& opts) {
   return run_with_promise(g, 6, lists, opts, "planar => mad < 6, no K_7");
 }
 
-SparseResult triangle_free_planar_four_list_coloring(const Graph& g,
-                                                     const ListAssignment& lists,
-                                                     const SparseOptions& opts) {
+ColoringReport triangle_free_planar_four_list_coloring(
+    const Graph& g, const ListAssignment& lists, const SparseOptions& opts) {
   return run_with_promise(g, 4, lists, opts,
                           "triangle-free planar => mad < 4, no K_5");
 }
 
-SparseResult girth_six_planar_three_list_coloring(const Graph& g,
-                                                  const ListAssignment& lists,
-                                                  const SparseOptions& opts) {
+ColoringReport girth_six_planar_three_list_coloring(const Graph& g,
+                                                    const ListAssignment& lists,
+                                                    const SparseOptions& opts) {
   return run_with_promise(g, 3, lists, opts,
                           "girth-6 planar => mad < 3, no K_4");
 }
 
-SparseResult arboricity_list_coloring(const Graph& g, Vertex arboricity,
-                                      const ListAssignment& lists,
-                                      const SparseOptions& opts) {
+ColoringReport arboricity_list_coloring(const Graph& g, Vertex arboricity,
+                                        const ListAssignment& lists,
+                                        const SparseOptions& opts) {
   SCOL_REQUIRE(arboricity >= 2, + "Corollary 1.4 needs a >= 2");
   return run_with_promise(g, 2 * arboricity, lists, opts,
                           "arboricity a => mad <= 2a, no K_{2a+1}");
@@ -57,9 +56,9 @@ Vertex heawood_list_bound(Vertex euler_genus) {
       (7.0 + std::sqrt(24.0 * static_cast<double>(euler_genus) + 1.0)) / 2.0));
 }
 
-SparseResult genus_list_coloring(const Graph& g, Vertex euler_genus,
-                                 const ListAssignment& lists,
-                                 const SparseOptions& opts) {
+ColoringReport genus_list_coloring(const Graph& g, Vertex euler_genus,
+                                   const ListAssignment& lists,
+                                   const SparseOptions& opts) {
   const Vertex h = heawood_list_bound(euler_genus);
   // Heawood: mad <= (5 + sqrt(24*gamma + 1))/2 = H - 1 <= H, and a K_{H+1}
   // would exceed the genus bound.
@@ -77,20 +76,20 @@ bool heawood_bound_is_tight(Vertex euler_genus) {
   return root * root == target && (5 + root) % 2 == 0;
 }
 
-SparseResult genus_list_coloring_sharp(const Graph& g, Vertex euler_genus,
-                                       const ListAssignment& lists,
-                                       const SparseOptions& opts) {
+ColoringReport genus_list_coloring_sharp(const Graph& g, Vertex euler_genus,
+                                         const ListAssignment& lists,
+                                         const SparseOptions& opts) {
   SCOL_REQUIRE(heawood_bound_is_tight(euler_genus),
                + "second part of Cor. 2.11 needs (5+sqrt(24g+1))/2 integral");
   const Vertex h = heawood_list_bound(euler_genus);
   // Here mad <= H - 1 exactly, so d = H - 1 satisfies the promise; the only
   // possible K_{d+1} = K_{H} is the complete-graph exception, which is
   // surfaced as the clique certificate.
-  return list_color_sparse(g, h - 1, lists, opts);
+  return report_from_sparse(list_color_sparse(g, h - 1, lists, opts), "");
 }
 
-DeltaListResult delta_list_coloring(const Graph& g, const ListAssignment& lists,
-                                    const SparseOptions& opts) {
+ColoringReport delta_list_coloring(const Graph& g, const ListAssignment& lists,
+                                   const SparseOptions& opts) {
   const Vertex delta = g.max_degree();
   SCOL_REQUIRE(delta >= 3, + "Corollary 2.1 needs max degree >= 3");
   SCOL_REQUIRE(lists.size() == g.num_vertices());
@@ -98,7 +97,7 @@ DeltaListResult delta_list_coloring(const Graph& g, const ListAssignment& lists,
     SCOL_REQUIRE(static_cast<Vertex>(lists.of(v).size()) >= delta,
                  + "need Delta-lists");
 
-  DeltaListResult out;
+  RoundLedger ledger;
   Coloring colors = empty_coloring(g.num_vertices());
 
   // K_{Delta+1} components are exactly the obstructions (a Delta-regular
@@ -111,10 +110,13 @@ DeltaListResult delta_list_coloring(const Graph& g, const ListAssignment& lists,
     if (static_cast<Vertex>(comp.size()) != delta + 1) continue;
     if (!is_clique(g, comp)) continue;
     const auto sdr = color_clique_by_sdr(g, comp, lists);
-    out.ledger.charge("sdr-cliques", 2);
+    ledger.charge("sdr-cliques", 2);
     if (!sdr.has_value()) {
-      out.infeasible_clique = comp;
-      return out;  // certificate: no L-coloring exists
+      // Certificate: no L-coloring exists.
+      ColoringReport out = ColoringReport::infeasible(comp, "no-sdr-clique");
+      out.ledger = std::move(ledger);
+      out.sync_derived_fields();
+      return out;
     }
     for (Vertex v : comp) {
       colors[static_cast<std::size_t>(v)] = (*sdr)[static_cast<std::size_t>(v)];
@@ -132,14 +134,16 @@ DeltaListResult delta_list_coloring(const Graph& g, const ListAssignment& lists,
     SparseResult r = list_color_sparse(rest.graph, delta, rest_lists, opts);
     SCOL_CHECK(!r.clique.has_value(),
                + "K_{Delta+1} must be a full component at max degree Delta");
-    out.ledger.merge(r.ledger);
+    ledger.merge(r.ledger);
     for (Vertex x = 0; x < rest.graph.num_vertices(); ++x)
       colors[static_cast<std::size_t>(
           rest.to_original[static_cast<std::size_t>(x)])] =
           (*r.coloring)[static_cast<std::size_t>(x)];
   }
 
-  out.coloring = std::move(colors);
+  ColoringReport out = ColoringReport::colored(std::move(colors));
+  out.ledger = std::move(ledger);
+  out.sync_derived_fields();
   return out;
 }
 

@@ -1,4 +1,5 @@
-// The paper's corollaries as ready-to-use entry points.
+// The paper's corollaries as ready-to-use entry points, all reporting
+// through the unified ColoringReport (api/report.h).
 //
 //   Corollary 2.3:  planar -> 6-list-coloring; triangle-free planar ->
 //                   4-list-coloring; girth >= 6 planar -> 3-list-coloring,
@@ -7,12 +8,16 @@
 //   Corollary 2.11: Euler genus gamma -> H(gamma)-list-coloring with
 //                   H(gamma) = floor((7 + sqrt(24*gamma + 1)) / 2).
 //   Corollary 2.1:  max degree Delta >= 3, Delta-lists -> either an
-//                   L-coloring or a certificate that none exists (a
-//                   K_{Delta+1} component whose lists admit no SDR).
+//                   L-coloring or a kInfeasible report whose certificate
+//                   is a K_{Delta+1} component admitting no SDR.
+//
+// The promise-based entry points (planar/arboricity/genus) treat a clique
+// certificate or a peel stall as a violated caller promise and throw
+// PreconditionError; genus_list_coloring_sharp and delta_list_coloring
+// return the certificate in the report instead.
 #pragma once
 
-#include <optional>
-
+#include "scol/api/report.h"
 #include "scol/coloring/sparse.h"
 #include "scol/coloring/types.h"
 #include "scol/graph/graph.h"
@@ -21,30 +26,30 @@ namespace scol {
 
 /// Corollary 2.3(1). Caller promises g is planar (mad < 6); a stall or a
 /// K_7 certificate would disprove the promise and throws.
-SparseResult planar_six_list_coloring(const Graph& g,
-                                      const ListAssignment& lists,
-                                      const SparseOptions& opts = {});
+ColoringReport planar_six_list_coloring(const Graph& g,
+                                        const ListAssignment& lists,
+                                        const SparseOptions& opts = {});
 
 /// Corollary 2.3(2): triangle-free planar, 4 colors.
-SparseResult triangle_free_planar_four_list_coloring(
+ColoringReport triangle_free_planar_four_list_coloring(
     const Graph& g, const ListAssignment& lists, const SparseOptions& opts = {});
 
 /// Corollary 2.3(3): planar of girth >= 6, 3 colors.
-SparseResult girth_six_planar_three_list_coloring(
+ColoringReport girth_six_planar_three_list_coloring(
     const Graph& g, const ListAssignment& lists, const SparseOptions& opts = {});
 
 /// Corollary 1.4: arboricity a >= 2, 2a colors.
-SparseResult arboricity_list_coloring(const Graph& g, Vertex arboricity,
-                                      const ListAssignment& lists,
-                                      const SparseOptions& opts = {});
+ColoringReport arboricity_list_coloring(const Graph& g, Vertex arboricity,
+                                        const ListAssignment& lists,
+                                        const SparseOptions& opts = {});
 
 /// H(gamma) of Corollary 2.11 (Heawood-type bound).
 Vertex heawood_list_bound(Vertex euler_genus);
 
 /// Corollary 2.11: Euler genus gamma >= 1, H(gamma) colors.
-SparseResult genus_list_coloring(const Graph& g, Vertex euler_genus,
-                                 const ListAssignment& lists,
-                                 const SparseOptions& opts = {});
+ColoringReport genus_list_coloring(const Graph& g, Vertex euler_genus,
+                                   const ListAssignment& lists,
+                                   const SparseOptions& opts = {});
 
 /// True iff (5 + sqrt(24*gamma + 1))/2 is an integer — the condition under
 /// which Corollary 2.11's second part applies.
@@ -52,22 +57,16 @@ bool heawood_bound_is_tight(Vertex euler_genus);
 
 /// Corollary 2.11, second part: when heawood_bound_is_tight(gamma) and G
 /// is not K_{H(gamma)}, an (H(gamma)-1)-list-coloring. If G contains
-/// K_{H(gamma)} the clique certificate is returned in the result.
-SparseResult genus_list_coloring_sharp(const Graph& g, Vertex euler_genus,
-                                       const ListAssignment& lists,
-                                       const SparseOptions& opts = {});
-
-struct DeltaListResult {
-  /// Set iff an L-coloring exists (then it is one).
-  std::optional<Coloring> coloring;
-  /// When no coloring exists: a K_{Delta+1} component whose lists admit no
-  /// system of distinct representatives (they are all identical, by Hall).
-  std::optional<std::vector<Vertex>> infeasible_clique;
-  RoundLedger ledger;
-};
+/// K_{H(gamma)} the report is kInfeasible with the clique certificate.
+ColoringReport genus_list_coloring_sharp(const Graph& g, Vertex euler_genus,
+                                         const ListAssignment& lists,
+                                         const SparseOptions& opts = {});
 
 /// Corollary 2.1: Delta = max degree >= 3, all lists of size >= Delta.
-DeltaListResult delta_list_coloring(const Graph& g, const ListAssignment& lists,
-                                    const SparseOptions& opts = {});
+/// kColored with an L-coloring, or kInfeasible with certificate_kind
+/// "no-sdr-clique": a K_{Delta+1} component whose lists admit no system
+/// of distinct representatives (they are all identical, by Hall).
+ColoringReport delta_list_coloring(const Graph& g, const ListAssignment& lists,
+                                   const SparseOptions& opts = {});
 
 }  // namespace scol

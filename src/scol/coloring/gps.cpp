@@ -6,11 +6,13 @@
 
 namespace scol {
 
-PeelColoringResult peel_threshold_coloring(const Graph& g, Vertex threshold) {
+ColoringReport peel_threshold_coloring(const Graph& g, Vertex threshold,
+                                       const Executor* executor) {
   SCOL_REQUIRE(threshold >= 1);
   const Vertex n = g.num_vertices();
-  PeelColoringResult out;
-  out.coloring = empty_coloring(n);
+  ColoringReport out = ColoringReport::colored(empty_coloring(n));
+  out.metrics.set_int("layers", 0);
+  Coloring& coloring = *out.coloring;
   if (n == 0) return out;
 
   // --- Peel layers (one round each: a vertex sees which neighbors are
@@ -40,7 +42,7 @@ PeelColoringResult peel_threshold_coloring(const Graph& g, Vertex threshold) {
     remaining -= static_cast<Vertex>(peeled.size());
     ++current_layer;
   }
-  out.num_layers = current_layer;
+  out.metrics.set_int("layers", current_layer);
   out.ledger.charge("peel", current_layer);
 
   // --- Auxiliary (threshold+1)-coloring of the union of within-layer
@@ -51,7 +53,7 @@ PeelColoringResult peel_threshold_coloring(const Graph& g, Vertex threshold) {
       within.push_back({u, v});
   const Graph layer_graph = Graph::from_edges(n, within);
   const DegreeColoringResult aux = distributed_degree_coloring(
-      layer_graph, threshold, &out.ledger, "aux-coloring");
+      layer_graph, threshold, &out.ledger, executor, "aux-coloring");
 
   // --- Recolor from the last layer to the first, one auxiliary class per
   // round. ---
@@ -64,7 +66,7 @@ PeelColoringResult peel_threshold_coloring(const Graph& g, Vertex threshold) {
         std::vector<char> used(static_cast<std::size_t>(threshold) + 1, 0);
         for (Vertex w : g.neighbors(v)) {
           // Constraining neighbors: same or later layers, already colored.
-          const Color cw = out.coloring[static_cast<std::size_t>(w)];
+          const Color cw = coloring[static_cast<std::size_t>(w)];
           if (cw != kUncolored && cw <= static_cast<Color>(threshold))
             used[static_cast<std::size_t>(cw)] = 1;
         }
@@ -72,17 +74,19 @@ PeelColoringResult peel_threshold_coloring(const Graph& g, Vertex threshold) {
         while (used[static_cast<std::size_t>(pick)]) ++pick;
         SCOL_CHECK(pick <= static_cast<Color>(threshold),
                    + "a free color must exist below the threshold");
-        out.coloring[static_cast<std::size_t>(v)] = pick;
+        coloring[static_cast<std::size_t>(v)] = pick;
       }
     }
   }
   out.ledger.charge("recolor",
                     static_cast<std::int64_t>(current_layer) * (threshold + 1));
+  out.sync_derived_fields();
   return out;
 }
 
-PeelColoringResult gps_planar_seven_coloring(const Graph& g) {
-  return peel_threshold_coloring(g, 6);
+ColoringReport gps_planar_seven_coloring(const Graph& g,
+                                         const Executor* executor) {
+  return peel_threshold_coloring(g, 6, executor);
 }
 
 }  // namespace scol

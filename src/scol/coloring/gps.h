@@ -14,27 +14,29 @@
 //      classes (A+1 rounds per layer) always finds a free color in
 //      {0..A}.
 // Total: O(log n * A + log* n) rounds, A+1 colors.
+//
+// Reports carry the layer count in metrics "layers".
 #pragma once
 
+#include "scol/api/report.h"
 #include "scol/coloring/types.h"
 #include "scol/graph/graph.h"
 #include "scol/local/ledger.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 
-struct PeelColoringResult {
-  Coloring coloring;   // colors in {0..threshold}
-  Vertex num_layers = 0;
-  RoundLedger ledger;
-};
-
 /// Generic peel-and-recolor with degree threshold A; uses A+1 colors.
-/// Throws PreconditionError if peeling stalls (some residual subgraph has
-/// min degree > A, i.e. the sparsity promise is violated).
-PeelColoringResult peel_threshold_coloring(const Graph& g, Vertex threshold);
+/// The auxiliary Linial pass runs under the executor (nullptr = serial;
+/// bit-identical either way). Throws PreconditionError if peeling stalls
+/// (some residual subgraph has min degree > A, i.e. the sparsity promise
+/// is violated).
+ColoringReport peel_threshold_coloring(const Graph& g, Vertex threshold,
+                                       const Executor* executor = nullptr);
 
 /// GPS for planar graphs: 7 colors in O(log n) rounds (threshold 6; every
 /// planar graph has >= n/7 vertices of degree <= 6).
-PeelColoringResult gps_planar_seven_coloring(const Graph& g);
+ColoringReport gps_planar_seven_coloring(const Graph& g,
+                                         const Executor* executor = nullptr);
 
 }  // namespace scol

@@ -1,6 +1,7 @@
 #include "scol/coloring/happy.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 
 #include "scol/graph/bfs.h"
@@ -50,16 +51,21 @@ bool ball_non_gallai(const Graph& gr, const std::vector<char>& comp_mask,
 
 }  // namespace
 
-HappyAnalysis compute_happy_set(const Graph& g, Vertex d, Vertex rho) {
+HappyAnalysis compute_happy_set(const Graph& g, Vertex d, Vertex rho,
+                                const Executor* executor) {
   SCOL_REQUIRE(d >= 1);
   const Vertex n = g.num_vertices();
   std::vector<char> rich(static_cast<std::size_t>(n), 0);
   std::vector<char> witness(static_cast<std::size_t>(n), 0);
-  for (Vertex v = 0; v < n; ++v) {
-    rich[static_cast<std::size_t>(v)] = g.degree(v) <= d;
-    witness[static_cast<std::size_t>(v)] = g.degree(v) <= d - 1;
-  }
-  HappyAnalysis out = compute_happy_set_general(g, rich, witness, rho);
+  // Rich/degree classification: each index writes only its own masks, so
+  // the pass is bit-identical under every executor.
+  parallel_for_index(resolve_executor(executor), static_cast<std::size_t>(n),
+                     [&](std::size_t i) {
+                       const Vertex v = static_cast<Vertex>(i);
+                       rich[i] = g.degree(v) <= d;
+                       witness[i] = g.degree(v) <= d - 1;
+                     });
+  HappyAnalysis out = compute_happy_set_general(g, rich, witness, rho, executor);
   out.d = d;
   return out;
 }
@@ -67,7 +73,8 @@ HappyAnalysis compute_happy_set(const Graph& g, Vertex d, Vertex rho) {
 HappyAnalysis compute_happy_set_general(const Graph& g,
                                         const std::vector<char>& rich_mask,
                                         const std::vector<char>& witness_mask,
-                                        Vertex rho) {
+                                        Vertex rho,
+                                        const Executor* executor) {
   SCOL_REQUIRE(rho >= 0);
   const Vertex n = g.num_vertices();
   SCOL_REQUIRE(static_cast<Vertex>(rich_mask.size()) == n);
@@ -77,15 +84,21 @@ HappyAnalysis compute_happy_set_general(const Graph& g,
   out.rich = rich_mask;
   out.happy.assign(static_cast<std::size_t>(n), 0);
 
-  for (Vertex v = 0; v < n; ++v) {
-    if (rich_mask[static_cast<std::size_t>(v)])
-      ++out.num_rich;
-    else
-      ++out.num_poor;
-    SCOL_REQUIRE(!witness_mask[static_cast<std::size_t>(v)] ||
-                     rich_mask[static_cast<std::size_t>(v)],
-                 + "witnesses must be rich");
-  }
+  // Rich/poor tally (chunk-local sums folded through atomics: integer
+  // addition commutes, so counts are executor-independent).
+  std::atomic<Vertex> num_rich{0};
+  resolve_executor(executor).parallel_ranges(
+      static_cast<std::size_t>(n), [&](std::size_t begin, std::size_t end) {
+        Vertex local_rich = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (rich_mask[i]) ++local_rich;
+          SCOL_REQUIRE(!witness_mask[i] || rich_mask[i],
+                       + "witnesses must be rich");
+        }
+        num_rich.fetch_add(local_rich, std::memory_order_relaxed);
+      });
+  out.num_rich = num_rich.load(std::memory_order_relaxed);
+  out.num_poor = n - out.num_rich;
 
   const InducedSubgraph gr = induce(g, out.rich);
   const Vertex nr = gr.graph.num_vertices();

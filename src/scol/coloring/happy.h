@@ -26,6 +26,7 @@
 #include <cmath>
 
 #include "scol/graph/graph.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 
@@ -56,8 +57,11 @@ struct HappyAnalysis {
   }
 };
 
-/// Exact happy-set computation for radius `rho`.
-HappyAnalysis compute_happy_set(const Graph& g, Vertex d, Vertex rho);
+/// Exact happy-set computation for radius `rho`. The rich/witness degree
+/// classification pass runs under the executor (`nullptr` = serial; the
+/// result is bit-identical either way, per DESIGN.md).
+HappyAnalysis compute_happy_set(const Graph& g, Vertex d, Vertex rho,
+                                const Executor* executor = nullptr);
 
 /// Generalized form (used by Theorem 6.1's nice-list variant, where every
 /// vertex is rich and the condition-1 witnesses are the surplus vertices
@@ -67,6 +71,7 @@ HappyAnalysis compute_happy_set(const Graph& g, Vertex d, Vertex rho);
 HappyAnalysis compute_happy_set_general(const Graph& g,
                                         const std::vector<char>& rich_mask,
                                         const std::vector<char>& witness_mask,
-                                        Vertex rho);
+                                        Vertex rho,
+                                        const Executor* executor = nullptr);
 
 }  // namespace scol

@@ -58,8 +58,8 @@ std::int64_t linial_next_palette(std::int64_t k, Vertex d) {
 
 DegreeColoringResult distributed_degree_coloring(const Graph& g, Vertex dmax,
                                                  RoundLedger* ledger,
-                                                 const std::string& phase,
-                                                 const Executor* executor) {
+                                                 const Executor* executor,
+                                                 const std::string& phase) {
   SCOL_REQUIRE(dmax >= g.max_degree(), + "dmax must bound the max degree");
   const Executor& exec = resolve_executor(executor);
   const Vertex n = g.num_vertices();

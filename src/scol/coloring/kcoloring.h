@@ -32,10 +32,13 @@ struct DegreeColoringResult {
 
 /// Proper coloring with colors {0..dmax} of a graph with max degree <=
 /// dmax. Deterministic (identical under every executor); initial coloring
-/// is the vertex ids.
+/// is the vertex ids. Parameter convention (DESIGN.md): the executor
+/// directly follows the ledger, so callers opting into parallelism never
+/// restate the phase label; the phase string is the last default.
 DegreeColoringResult distributed_degree_coloring(
     const Graph& g, Vertex dmax, RoundLedger* ledger = nullptr,
-    const std::string& phase = "k-coloring", const Executor* executor = nullptr);
+    const Executor* executor = nullptr,
+    const std::string& phase = "k-coloring");
 
 /// One Linial reduction step's target palette from k colors at max degree
 /// d: the minimum q^2 over valid (q, t) with q prime, q > d*t and

@@ -24,17 +24,18 @@ bool is_nice_assignment(const Graph& g, const ListAssignment& lists) {
   return true;
 }
 
-NiceResult nice_list_coloring(const Graph& g, const ListAssignment& lists,
-                              const SparseOptions& opts) {
+ColoringReport nice_list_coloring(const Graph& g, const ListAssignment& lists,
+                                  const SparseOptions& opts) {
   const Vertex n = g.num_vertices();
   SCOL_REQUIRE(lists.canonical(), + "lists must be sorted unique");
   SCOL_REQUIRE(is_nice_assignment(g, lists), + "list assignment is not nice");
 
-  NiceResult out;
+  ColoringReport out = ColoringReport::colored(empty_coloring(n));
   if (n == 0) return out;
-  out.radius = opts.radius_override > 0
-                   ? opts.radius_override
-                   : paper_ball_radius(n, opts.ball_constant);
+  const Vertex radius = opts.radius_override > 0
+                            ? opts.radius_override
+                            : paper_ball_radius(n, opts.ball_constant);
+  out.metrics.set_int("radius", radius);
   const Vertex delta = g.max_degree();
 
   // --- Peel. Every vertex is rich; witnesses are surplus vertices. ---
@@ -53,9 +54,9 @@ NiceResult nice_list_coloring(const Graph& g, const ListAssignment& lists,
       witness[static_cast<std::size_t>(x)] =
           static_cast<Vertex>(lists.of(v).size()) > gi.graph.degree(x);
     }
-    const HappyAnalysis ha =
-        compute_happy_set_general(gi.graph, rich, witness, out.radius);
-    out.ledger.charge("peel-balls", out.radius + 2);
+    const HappyAnalysis ha = compute_happy_set_general(gi.graph, rich, witness,
+                                                       radius, opts.executor);
+    out.ledger.charge("peel-balls", radius + 2);
     if (ha.num_happy == 0) {
       throw PreconditionError(
           "nice_list_coloring: peel stalled — assignment cannot be nice");
@@ -76,14 +77,15 @@ NiceResult nice_list_coloring(const Graph& g, const ListAssignment& lists,
       }
     }
   }
-  out.peel_iterations = static_cast<Vertex>(levels.size());
+  out.metrics.set_int("peels", static_cast<std::int64_t>(levels.size()));
 
   // --- Extend. ---
   Coloring colors = empty_coloring(n);
   for (auto it = levels.rbegin(); it != levels.rend(); ++it)
-    extend_level_lemma32(g, *it, lists, std::max<Vertex>(delta, 1), out.radius,
-                         colors, out.ledger);
+    extend_level_lemma32(g, *it, lists, std::max<Vertex>(delta, 1), radius,
+                         colors, out.ledger, opts.executor);
   out.coloring = std::move(colors);
+  out.sync_derived_fields();
   return out;
 }
 

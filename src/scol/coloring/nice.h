@@ -12,8 +12,12 @@
 //
 // This also yields Corollary 2.1 (all lists of size Delta) — see
 // derived.h for the clique-aware entry point.
+//
+// Reports carry the peel count in metrics "peels" and the ball radius in
+// metrics "radius".
 #pragma once
 
+#include "scol/api/report.h"
 #include "scol/coloring/sparse.h"
 #include "scol/coloring/types.h"
 #include "scol/graph/graph.h"
@@ -23,17 +27,10 @@ namespace scol {
 /// True iff L is nice for g.
 bool is_nice_assignment(const Graph& g, const ListAssignment& lists);
 
-struct NiceResult {
-  Coloring coloring;
-  RoundLedger ledger;
-  Vertex peel_iterations = 0;
-  Vertex radius = 0;
-};
-
 /// Theorem 6.1: finds an L-list-coloring for a nice list assignment L.
 /// Throws PreconditionError if L is not nice (or the peel stalls, which
 /// niceness rules out).
-NiceResult nice_list_coloring(const Graph& g, const ListAssignment& lists,
-                              const SparseOptions& opts = {});
+ColoringReport nice_list_coloring(const Graph& g, const ListAssignment& lists,
+                                  const SparseOptions& opts = {});
 
 }  // namespace scol

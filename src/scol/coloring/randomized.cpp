@@ -7,12 +7,11 @@
 
 namespace scol {
 
-RandomizedColoringResult randomized_list_coloring(const Graph& g,
-                                                  const ListAssignment& lists,
-                                                  Rng& rng,
-                                                  RoundLedger* ledger,
-                                                  int max_rounds,
-                                                  const Executor* executor) {
+ColoringReport randomized_list_coloring(const Graph& g,
+                                        const ListAssignment& lists, Rng& rng,
+                                        RoundLedger* ledger,
+                                        const Executor* executor,
+                                        int max_rounds) {
   const Vertex n = g.num_vertices();
   SCOL_REQUIRE(lists.size() == n);
   SCOL_REQUIRE(lists.canonical(), + "lists must be sorted unique");
@@ -27,25 +26,25 @@ RandomizedColoringResult randomized_list_coloring(const Graph& g,
   // bit (and the result is a deterministic function of the caller's seed).
   const std::uint64_t base_seed = rng.next();
 
-  RandomizedColoringResult out;
-  out.coloring = empty_coloring(n);
+  Coloring coloring = empty_coloring(n);
+  std::int64_t iterations = 0;
   std::atomic<std::int64_t> colored{0};
   std::vector<Color> proposal(static_cast<std::size_t>(n), kUncolored);
 
   while (colored.load(std::memory_order_relaxed) < n) {
-    SCOL_CHECK(out.rounds < max_rounds,
+    SCOL_CHECK(iterations < max_rounds,
                + "randomized coloring did not converge (astronomically "
                  "unlikely)");
-    const std::uint64_t round_tag = static_cast<std::uint64_t>(out.rounds)
+    const std::uint64_t round_tag = static_cast<std::uint64_t>(iterations)
                                     << 32;
     // Propose: a uniform color from L(v) minus colored neighbors.
     parallel_for_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
       const Vertex v = static_cast<Vertex>(i);
       proposal[i] = kUncolored;
-      if (out.coloring[i] != kUncolored) return;
+      if (coloring[i] != kUncolored) return;
       std::set<Color> blocked;
       for (Vertex w : g.neighbors(v)) {
-        const Color cw = out.coloring[static_cast<std::size_t>(w)];
+        const Color cw = coloring[static_cast<std::size_t>(w)];
         if (cw != kUncolored) blocked.insert(cw);
       }
       std::vector<Color> free;
@@ -70,15 +69,20 @@ RandomizedColoringResult randomized_list_coloring(const Graph& g,
               }
             }
             if (!clash) {
-              out.coloring[i] = mine;
+              coloring[i] = mine;
               ++local;
             }
           }
           if (local > 0) colored.fetch_add(local, std::memory_order_relaxed);
         });
-    out.rounds += 2;  // propose + resolve
+    ++iterations;
   }
-  if (ledger != nullptr) ledger->charge("randomized-coloring", out.rounds);
+
+  ColoringReport out = ColoringReport::colored(std::move(coloring));
+  out.ledger.charge("randomized-coloring", 2 * iterations);
+  out.metrics.set_int("iterations", iterations);
+  out.sync_derived_fields();
+  if (ledger != nullptr) ledger->merge(out.ledger);
   return out;
 }
 

@@ -10,6 +10,7 @@
 // of §2, which this library measures (bench_ablation).
 #pragma once
 
+#include "scol/api/report.h"
 #include "scol/coloring/types.h"
 #include "scol/graph/graph.h"
 #include "scol/local/ledger.h"
@@ -18,20 +19,18 @@
 
 namespace scol {
 
-struct RandomizedColoringResult {
-  Coloring coloring;
-  std::int64_t rounds = 0;
-};
-
 /// Randomized (deg+1)-list-coloring: requires |L(v)| >= deg(v)+1 for all
-/// v. Each round costs 2 LOCAL rounds (propose + resolve). Throws
-/// InternalError if not done after max_rounds (probability ~ n^-c).
-/// Randomness is drawn from per-(vertex, round) streams derived from one
-/// value of `rng`, so the result is a deterministic function of the seed
-/// and identical under every executor.
-RandomizedColoringResult randomized_list_coloring(
-    const Graph& g, const ListAssignment& lists, Rng& rng,
-    RoundLedger* ledger = nullptr, int max_rounds = 40'000,
-    const Executor* executor = nullptr);
+/// v. Each propose/resolve iteration costs 2 LOCAL rounds (charged to the
+/// report ledger as "randomized-coloring"; the iteration count is in
+/// metrics "iterations"). Throws InternalError if not done after
+/// max_rounds iterations (probability ~ n^-c). Randomness is drawn from
+/// per-(vertex, round) streams derived from one value of `rng`, so the
+/// report is a deterministic function of the seed and identical under
+/// every executor.
+ColoringReport randomized_list_coloring(const Graph& g,
+                                        const ListAssignment& lists, Rng& rng,
+                                        RoundLedger* ledger = nullptr,
+                                        const Executor* executor = nullptr,
+                                        int max_rounds = 40'000);
 
 }  // namespace scol

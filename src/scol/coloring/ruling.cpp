@@ -9,8 +9,8 @@ namespace scol {
 
 RulingForest ruling_forest(const Graph& g, const std::vector<char>& in_u,
                            Vertex alpha, RoundLedger* ledger,
-                           const std::string& phase,
-                           const Executor* executor) {
+                           const Executor* executor,
+                           const std::string& phase) {
   const Executor& exec = resolve_executor(executor);
   const Vertex n = g.num_vertices();
   SCOL_REQUIRE(static_cast<Vertex>(in_u.size()) == n);

@@ -37,9 +37,11 @@ struct RulingForest {
 
 /// Computes an (alpha, alpha*ceil(log2 n))-ruling forest of g with respect
 /// to U (mask). Roots are elements of U; every U-vertex lies in a tree.
+/// Parameter convention (DESIGN.md): executor directly after the ledger,
+/// phase label last.
 RulingForest ruling_forest(const Graph& g, const std::vector<char>& in_u,
                            Vertex alpha, RoundLedger* ledger = nullptr,
-                           const std::string& phase = "ruling-forest",
-                           const Executor* executor = nullptr);
+                           const Executor* executor = nullptr,
+                           const std::string& phase = "ruling-forest");
 
 }  // namespace scol

@@ -17,9 +17,11 @@ namespace scol {
 // (aux_dmax+1)-coloring of H.
 void extend_level_lemma32(const Graph& g, const LevelMasks& level,
                           const ListAssignment& lists, Vertex aux_dmax,
-                          Vertex rho, Coloring& colors, RoundLedger& ledger) {
+                          Vertex rho, Coloring& colors, RoundLedger& ledger,
+                          const Executor* executor) {
   const Vertex n = g.num_vertices();
   const Vertex d = aux_dmax;
+  const Executor& exec = resolve_executor(executor);
 
   // Entry invariant: alive non-happy vertices are colored; A_i uncolored.
   for (Vertex v = 0; v < n; ++v) {
@@ -45,7 +47,8 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
             gr.to_original[static_cast<std::size_t>(x)])];
 
   const Vertex alpha = 2 * rho + 2;
-  const RulingForest rf = ruling_forest(gr.graph, in_u, alpha, &ledger);
+  const RulingForest rf =
+      ruling_forest(gr.graph, in_u, alpha, &ledger, executor);
 
   // --- T: the forest vertices. Uncolor them (T ∩ S was colored). ---
   std::vector<Vertex> t_members;  // gr ids
@@ -58,8 +61,11 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
         gr.to_original[static_cast<std::size_t>(x)])] = kUncolored;
 
   // --- L_H: lists minus colors of colored G_i-neighbors outside T. ---
+  // Each forest vertex shrinks only its own list, so the sweep runs under
+  // the executor (bit-identical across executors).
   std::vector<std::vector<Color>> lh(static_cast<std::size_t>(nr));
-  for (Vertex x : t_members) {
+  parallel_for_index(exec, t_members.size(), [&](std::size_t ti) {
+    const Vertex x = t_members[ti];
     const Vertex v = gr.to_original[static_cast<std::size_t>(x)];
     std::set<Color> forbidden;
     Vertex deg_gi = 0, deg_h = 0;
@@ -85,12 +91,12 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
     SCOL_CHECK(static_cast<Vertex>(lh[static_cast<std::size_t>(x)].size()) >=
                    deg_h,
                + "sweep capacity |L_H| >= deg_H violated");
-  }
+  });
 
   // --- (d+1)-coloring of H = G_i[T]. ---
   const InducedSubgraph h = induce(gr.graph, t_members);
   const DegreeColoringResult aux =
-      distributed_degree_coloring(h.graph, d, &ledger, "h-coloring");
+      distributed_degree_coloring(h.graph, d, &ledger, executor, "h-coloring");
 
   // --- Sweep: depth from max down to 1, aux class 0..d. ---
   // Bucket vertices by (depth, class); the LOCAL schedule runs over the a
@@ -186,7 +192,7 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
                      bg.graph.degree(bx),
                  + "ball lists must cover ball degrees (Obs. 5.1)");
     }
-    const Coloring bc = degree_choosable_coloring(bg.graph, avail);
+    const Coloring bc = degree_choosable_coloring(bg.graph, avail, executor);
     for (Vertex bx = 0; bx < bg.graph.num_vertices(); ++bx) {
       const Vertex v = gr.to_original[static_cast<std::size_t>(
           bg.to_original[static_cast<std::size_t>(bx)])];
@@ -239,7 +245,8 @@ SparseResult list_color_sparse(const Graph& g, Vertex d,
     SCOL_REQUIRE(static_cast<Vertex>(levels.size()) < max_peels,
                  + "peel cap exceeded");
     const InducedSubgraph gi = induce(g, alive);
-    const HappyAnalysis ha = compute_happy_set(gi.graph, d, out.radius);
+    const HappyAnalysis ha =
+        compute_happy_set(gi.graph, d, out.radius, opts.executor);
     out.ledger.charge("peel-balls", out.radius + 2);
 
     PeelRecord rec;
@@ -279,7 +286,8 @@ SparseResult list_color_sparse(const Graph& g, Vertex d,
   // --- Extend back: i = k..1. ---
   Coloring colors = empty_coloring(n);
   for (auto it = levels.rbegin(); it != levels.rend(); ++it)
-    extend_level_lemma32(g, *it, lists, d, out.radius, colors, out.ledger);
+    extend_level_lemma32(g, *it, lists, d, out.radius, colors, out.ledger,
+                         opts.executor);
 
   out.coloring = std::move(colors);
   return out;

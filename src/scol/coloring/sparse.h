@@ -27,6 +27,7 @@
 #include "scol/coloring/types.h"
 #include "scol/graph/graph.h"
 #include "scol/local/ledger.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 
@@ -39,6 +40,10 @@ struct SparseOptions {
   Vertex radius_override = -1;
   /// Safety cap on peel iterations (default 4n + 16).
   Vertex max_peels = -1;
+  /// Executor for the per-vertex hot scans (classification, list shrink,
+  /// H-coloring, root-ball finishing); nullptr = serial. Results are
+  /// bit-identical across executors.
+  const Executor* executor = nullptr;
 };
 
 struct PeelRecord {
@@ -83,6 +88,7 @@ struct LevelMasks {
 /// happy w.r.t. radius rho in G_i[R_i].
 void extend_level_lemma32(const Graph& g, const LevelMasks& level,
                           const ListAssignment& lists, Vertex aux_dmax,
-                          Vertex rho, Coloring& colors, RoundLedger& ledger);
+                          Vertex rho, Coloring& colors, RoundLedger& ledger,
+                          const Executor* executor = nullptr);
 
 }  // namespace scol

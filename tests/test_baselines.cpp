@@ -18,22 +18,24 @@ namespace {
 TEST(Gps, SevenColorsOnPlanarFamilies) {
   Rng rng(191);
   const Graph tri = random_stacked_triangulation(300, rng);
-  const PeelColoringResult r = gps_planar_seven_coloring(tri);
-  expect_proper_with_at_most(tri, r.coloring, 7);
+  const ColoringReport r = gps_planar_seven_coloring(tri);
+  expect_proper_with_at_most(tri, *r.coloring, 7);
 
   const Graph gd = grid_random_diagonals(15, 15, rng);
-  expect_proper_with_at_most(gd, gps_planar_seven_coloring(gd).coloring, 7);
+  expect_proper_with_at_most(gd, *gps_planar_seven_coloring(gd).coloring, 7);
 
   const Graph g = grid(20, 20);
-  expect_proper_with_at_most(g, gps_planar_seven_coloring(g).coloring, 7);
+  expect_proper_with_at_most(g, *gps_planar_seven_coloring(g).coloring, 7);
 }
 
 TEST(Gps, LayerCountLogarithmic) {
   Rng rng(193);
   const Graph small = random_stacked_triangulation(100, rng);
   const Graph large = random_stacked_triangulation(3000, rng);
-  const Vertex layers_small = gps_planar_seven_coloring(small).num_layers;
-  const Vertex layers_large = gps_planar_seven_coloring(large).num_layers;
+  const Vertex layers_small = static_cast<Vertex>(
+      gps_planar_seven_coloring(small).metrics.get_int("layers", -1));
+  const Vertex layers_large = static_cast<Vertex>(
+      gps_planar_seven_coloring(large).metrics.get_int("layers", -1));
   // n/7 fraction per layer: layers <= log_{7/6}(n) + 1.
   const auto bound = [](Vertex n) {
     return static_cast<Vertex>(std::log(static_cast<double>(n)) /
@@ -60,8 +62,8 @@ TEST(BarenboimElkin, ColorsOnForestUnions) {
   for (Vertex a : {2, 3, 4}) {
     const Graph g = random_forest_union(400, a, rng);
     for (double eps : {0.1, 1.0}) {
-      const PeelColoringResult r = barenboim_elkin_coloring(g, a, eps);
-      expect_proper_with_at_most(g, r.coloring,
+      const ColoringReport r = barenboim_elkin_coloring(g, a, eps);
+      expect_proper_with_at_most(g, *r.coloring,
                                  barenboim_elkin_palette(a, eps));
     }
   }
@@ -70,8 +72,8 @@ TEST(BarenboimElkin, ColorsOnForestUnions) {
 TEST(BarenboimElkin, TreeWithBigEps) {
   Rng rng(199);
   const Graph t = random_tree(500, rng);
-  const PeelColoringResult r = barenboim_elkin_coloring(t, 1, 1.0);
-  expect_proper_with_at_most(t, r.coloring, 4);  // floor(3)+1
+  const ColoringReport r = barenboim_elkin_coloring(t, 1, 1.0);
+  expect_proper_with_at_most(t, *r.coloring, 4);  // floor(3)+1
 }
 
 TEST(BarenboimElkin, StallsWhenArboricityUnderestimated) {
@@ -83,7 +85,7 @@ TEST(BarenboimElkin, StallsWhenArboricityUnderestimated) {
 TEST(PeelColoring, RoundLedgerBreakdown) {
   Rng rng(211);
   const Graph g = random_stacked_triangulation(200, rng);
-  const PeelColoringResult r = gps_planar_seven_coloring(g);
+  const ColoringReport r = gps_planar_seven_coloring(g);
   EXPECT_GT(r.ledger.phase("peel"), 0);
   EXPECT_GT(r.ledger.phase("aux-coloring"), 0);
   EXPECT_GT(r.ledger.phase("recolor"), 0);

@@ -23,7 +23,7 @@ TEST(Planar6, TriangulationsAndGrids) {
   for (const Graph& g : {random_stacked_triangulation(170, rng),
                          grid_random_diagonals(12, 12, rng), grid(12, 12)}) {
     const ListAssignment lists = uniform_lists(g.num_vertices(), 6);
-    const SparseResult r = planar_six_list_coloring(g, lists);
+    const ColoringReport r = planar_six_list_coloring(g, lists);
     ASSERT_TRUE(r.coloring.has_value());
     expect_proper_list_coloring(g, *r.coloring, lists);
     EXPECT_LE(count_colors(*r.coloring), 6);
@@ -33,11 +33,11 @@ TEST(Planar6, TriangulationsAndGrids) {
 TEST(Planar6, BeatsGpsByOneColor) {
   Rng rng(547);
   const Graph g = random_stacked_triangulation(200, rng);
-  const SparseResult ours =
+  const ColoringReport ours =
       planar_six_list_coloring(g, uniform_lists(200, 6));
-  const PeelColoringResult gps = gps_planar_seven_coloring(g);
+  const ColoringReport gps = gps_planar_seven_coloring(g);
   EXPECT_LE(count_colors(*ours.coloring), 6);
-  expect_proper_with_at_most(g, gps.coloring, 7);
+  expect_proper_with_at_most(g, *gps.coloring, 7);
   // The headline: 6 <= colors(ours) vs GPS's palette of 7.
 }
 
@@ -45,7 +45,7 @@ TEST(Planar6, WithGenuineLists) {
   Rng rng(557);
   const Graph g = random_stacked_triangulation(150, rng);
   const ListAssignment lists = random_lists(150, 6, 18, rng);
-  const SparseResult r = planar_six_list_coloring(g, lists);
+  const ColoringReport r = planar_six_list_coloring(g, lists);
   ASSERT_TRUE(r.coloring.has_value());
   expect_proper_list_coloring(g, *r.coloring, lists);
 }
@@ -56,7 +56,7 @@ TEST(TriangleFree4, GridsAndSubHex) {
        {grid(13, 13), cylinder(6, 14), random_subhex(14, 14, 0.1, rng)}) {
     ASSERT_TRUE(triangle_free(g));
     const ListAssignment lists = uniform_lists(g.num_vertices(), 4);
-    const SparseResult r = triangle_free_planar_four_list_coloring(g, lists);
+    const ColoringReport r = triangle_free_planar_four_list_coloring(g, lists);
     ASSERT_TRUE(r.coloring.has_value());
     expect_proper_list_coloring(g, *r.coloring, lists);
     EXPECT_LE(count_colors(*r.coloring), 4);
@@ -69,7 +69,7 @@ TEST(Girth6Planar3, HexFamilies) {
     const Vertex gi = girth(g);
     ASSERT_TRUE(gi < 0 || gi >= 6);
     const ListAssignment lists = uniform_lists(g.num_vertices(), 3);
-    const SparseResult r = girth_six_planar_three_list_coloring(g, lists);
+    const ColoringReport r = girth_six_planar_three_list_coloring(g, lists);
     ASSERT_TRUE(r.coloring.has_value());
     expect_proper_list_coloring(g, *r.coloring, lists);
     EXPECT_LE(count_colors(*r.coloring), 3);
@@ -82,14 +82,14 @@ TEST(Arboricity2a, ForestUnionsBeatBarenboimElkin) {
     const Graph g = random_forest_union(160, a, rng);
     const ListAssignment lists =
         uniform_lists(g.num_vertices(), static_cast<Color>(2 * a));
-    const SparseResult ours = arboricity_list_coloring(g, a, lists);
+    const ColoringReport ours = arboricity_list_coloring(g, a, lists);
     ASSERT_TRUE(ours.coloring.has_value());
     expect_proper_list_coloring(g, *ours.coloring, lists);
     // Corollary 1.4: 2a colors; BE needs floor((2+eps)a)+1 > 2a for any eps.
     for (double eps : {0.1, 1.0}) {
       EXPECT_GT(barenboim_elkin_palette(a, eps), 2 * a);
-      const PeelColoringResult be = barenboim_elkin_coloring(g, a, eps);
-      expect_proper_with_at_most(g, be.coloring,
+      const ColoringReport be = barenboim_elkin_coloring(g, a, eps);
+      expect_proper_with_at_most(g, *be.coloring,
                                  barenboim_elkin_palette(a, eps));
     }
   }
@@ -108,7 +108,7 @@ TEST(Genus, TorusTriangulationGetsHeawoodColors) {
   EXPECT_EQ(heawood_list_bound(2), 7);
   const Graph g = cycle_power(40, 3);
   const ListAssignment lists = uniform_lists(40, 7);
-  const SparseResult r = genus_list_coloring(g, 2, lists);
+  const ColoringReport r = genus_list_coloring(g, 2, lists);
   ASSERT_TRUE(r.coloring.has_value());
   expect_proper_list_coloring(g, *r.coloring, lists);
   EXPECT_LE(count_colors(*r.coloring), 7);
@@ -131,7 +131,7 @@ TEST(DeltaList, ColorsIrregularSparse) {
   const ListAssignment lists =
       random_lists(150, static_cast<Color>(delta),
                    static_cast<Color>(delta + 6), rng);
-  const DeltaListResult r = delta_list_coloring(g, lists);
+  const ColoringReport r = delta_list_coloring(g, lists);
   ASSERT_TRUE(r.coloring.has_value());
   expect_proper_list_coloring(g, *r.coloring, lists);
 }
@@ -143,18 +143,20 @@ TEST(DeltaList, IdenticalListsOnCliqueComponentInfeasible) {
   Graph rest = grid(6, 6);
   const Graph g = disjoint_union(complete(5), rest);
   ASSERT_EQ(g.max_degree(), 4);
-  const DeltaListResult r =
+  const ColoringReport r =
       delta_list_coloring(g, uniform_lists(g.num_vertices(), 4));
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
   EXPECT_FALSE(r.coloring.has_value());
-  ASSERT_TRUE(r.infeasible_clique.has_value());
-  EXPECT_EQ(r.infeasible_clique->size(), 5u);
+  ASSERT_TRUE(r.certificate.has_value());
+  EXPECT_EQ(r.certificate_kind, "no-sdr-clique");
+  EXPECT_EQ(r.certificate->size(), 5u);
 }
 
 TEST(DeltaList, DistinctListsOnCliqueComponentFeasible) {
   const Graph g = disjoint_union(complete(5), grid(6, 6));
   ListAssignment lists = uniform_lists(g.num_vertices(), 4);
   lists.lists[0] = {1, 2, 3, 7};  // break the identical-list obstruction
-  const DeltaListResult r = delta_list_coloring(g, lists);
+  const ColoringReport r = delta_list_coloring(g, lists);
   ASSERT_TRUE(r.coloring.has_value());
   expect_proper_list_coloring(g, *r.coloring, lists);
 }
@@ -167,7 +169,7 @@ TEST(DeltaList, AgreesWithExactOnSmall) {
     const ListAssignment lists = random_lists(
         14, static_cast<Color>(g.max_degree()),
         static_cast<Color>(g.max_degree() + 3), rng);
-    const DeltaListResult ours = delta_list_coloring(g, lists);
+    const ColoringReport ours = delta_list_coloring(g, lists);
     const auto exact = find_list_coloring(g, lists);
     EXPECT_EQ(ours.coloring.has_value(), exact.has_value()) << describe(g);
   }

@@ -114,7 +114,7 @@ TEST(Cor211Sharp, TorusGetsSixListColors) {
   // Euler genus 2 (torus): H(2) = 7, tight => 6-list-colorable unless K_7.
   const Graph g = cycle_power(32, 3);  // 6-regular toroidal triangulation
   const ListAssignment lists = uniform_lists(32, 6);
-  const SparseResult r = genus_list_coloring_sharp(g, 2, lists);
+  const ColoringReport r = genus_list_coloring_sharp(g, 2, lists);
   ASSERT_TRUE(r.coloring.has_value());
   expect_proper_list_coloring(g, *r.coloring, lists);
   EXPECT_LE(count_colors(*r.coloring), 6);
@@ -123,10 +123,12 @@ TEST(Cor211Sharp, TorusGetsSixListColors) {
 TEST(Cor211Sharp, K7IsTheException) {
   // K_7 embeds on the torus and is the unique obstruction: the sharp
   // variant surfaces it as a clique certificate.
-  const SparseResult r =
+  const ColoringReport r =
       genus_list_coloring_sharp(complete(7), 2, uniform_lists(7, 6));
-  ASSERT_TRUE(r.clique.has_value());
-  EXPECT_EQ(r.clique->size(), 7u);
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+  ASSERT_TRUE(r.certificate.has_value());
+  EXPECT_EQ(r.certificate_kind, "clique");
+  EXPECT_EQ(r.certificate->size(), 7u);
 }
 
 TEST(Cor211Sharp, RejectsNonTightGenus) {

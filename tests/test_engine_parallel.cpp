@@ -145,14 +145,14 @@ TEST(EngineParallel, RandomizedColoringBitIdenticalPerSeed) {
       Rng serial_rng(seed), pool_rng(seed);
       RoundLedger serial_ledger, pool_ledger;
       const auto serial = randomized_list_coloring(g, lists, serial_rng,
-                                                   &serial_ledger, 40'000);
+                                                   &serial_ledger);
       const auto parallel = randomized_list_coloring(
-          g, lists, pool_rng, &pool_ledger, 40'000, &pool);
+          g, lists, pool_rng, &pool_ledger, &pool);
       EXPECT_EQ(serial.coloring, parallel.coloring);
       EXPECT_EQ(serial.rounds, parallel.rounds);
       EXPECT_EQ(serial_ledger.phase("randomized-coloring"),
                 pool_ledger.phase("randomized-coloring"));
-      expect_proper_list_coloring(g, parallel.coloring, lists, &pool);
+      expect_proper_list_coloring(g, *parallel.coloring, lists, &pool);
     }
   }
 }
@@ -164,9 +164,9 @@ TEST(EngineParallel, DegreeColoringBitIdentical) {
     const Graph g = random_regular(240, d, rng);
     RoundLedger serial_ledger, pool_ledger;
     const auto serial =
-        distributed_degree_coloring(g, d, &serial_ledger, "k-coloring");
-    const auto parallel = distributed_degree_coloring(
-        g, d, &pool_ledger, "k-coloring", &pool);
+        distributed_degree_coloring(g, d, &serial_ledger);
+    const auto parallel =
+        distributed_degree_coloring(g, d, &pool_ledger, &pool);
     EXPECT_EQ(serial.coloring, parallel.coloring);
     EXPECT_EQ(serial.rounds, parallel.rounds);
     EXPECT_EQ(serial.palette, parallel.palette);
@@ -185,9 +185,9 @@ TEST(EngineParallel, RulingForestBitIdentical) {
   for (Vertex alpha : {2, 5}) {
     RoundLedger serial_ledger, pool_ledger;
     const RulingForest serial =
-        ruling_forest(g, in_u, alpha, &serial_ledger, "ruling");
+        ruling_forest(g, in_u, alpha, &serial_ledger, nullptr, "ruling");
     const RulingForest parallel =
-        ruling_forest(g, in_u, alpha, &pool_ledger, "ruling", &pool);
+        ruling_forest(g, in_u, alpha, &pool_ledger, &pool, "ruling");
     EXPECT_EQ(serial.root, parallel.root);
     EXPECT_EQ(serial.parent, parallel.parent);
     EXPECT_EQ(serial.depth, parallel.depth);

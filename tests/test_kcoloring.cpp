@@ -67,7 +67,7 @@ TEST(KColoring, LedgerCharged) {
   const Graph g = random_regular(60, 4, rng);
   RoundLedger ledger;
   const DegreeColoringResult r =
-      distributed_degree_coloring(g, 4, &ledger, "test-phase");
+      distributed_degree_coloring(g, 4, &ledger, nullptr, "test-phase");
   EXPECT_EQ(ledger.phase("test-phase"), r.rounds);
   EXPECT_GT(r.rounds, 0);
 }

@@ -55,13 +55,13 @@ TEST(Nice, PathsAndCycles) {
   Rng rng(601);
   const Graph p = path(40);
   const ListAssignment lists = tight_nice_lists(p, 8, rng);
-  const NiceResult r = nice_list_coloring(p, lists);
-  expect_proper_list_coloring(p, r.coloring, lists);
+  const ColoringReport r = nice_list_coloring(p, lists);
+  expect_proper_list_coloring(p, *r.coloring, lists);
 
   const Graph c = cycle(41);
   const ListAssignment lc = tight_nice_lists(c, 8, rng);
-  const NiceResult rc = nice_list_coloring(c, lc);
-  expect_proper_list_coloring(c, rc.coloring, lc);
+  const ColoringReport rc = nice_list_coloring(c, lc);
+  expect_proper_list_coloring(c, *rc.coloring, lc);
 }
 
 TEST(Nice, HeterogeneousSparseGraphs) {
@@ -71,8 +71,8 @@ TEST(Nice, HeterogeneousSparseGraphs) {
     const ListAssignment lists =
         tight_nice_lists(g, static_cast<Color>(g.max_degree() + 6), rng);
     ASSERT_TRUE(is_nice_assignment(g, lists));
-    const NiceResult r = nice_list_coloring(g, lists);
-    expect_proper_list_coloring(g, r.coloring, lists);
+    const ColoringReport r = nice_list_coloring(g, lists);
+    expect_proper_list_coloring(g, *r.coloring, lists);
   }
 }
 
@@ -84,8 +84,8 @@ TEST(Nice, RegularGraphsTightLists) {
     // would need a K_{d+1}); our generator avoids that w.h.p. — verified.
     const ListAssignment lists = tight_nice_lists(g, static_cast<Color>(2 * d), rng);
     ASSERT_TRUE(is_nice_assignment(g, lists));
-    const NiceResult r = nice_list_coloring(g, lists);
-    expect_proper_list_coloring(g, r.coloring, lists);
+    const ColoringReport r = nice_list_coloring(g, lists);
+    expect_proper_list_coloring(g, *r.coloring, lists);
   }
 }
 
@@ -93,16 +93,16 @@ TEST(Nice, TreesWithLeafSurplus) {
   Rng rng(617);
   const Graph t = random_tree(80, rng);
   const ListAssignment lists = tight_nice_lists(t, 10, rng);
-  const NiceResult r = nice_list_coloring(t, lists);
-  expect_proper_list_coloring(t, r.coloring, lists);
+  const ColoringReport r = nice_list_coloring(t, lists);
+  expect_proper_list_coloring(t, *r.coloring, lists);
 }
 
 TEST(Nice, GridTight) {
   Rng rng(619);
   const Graph g = grid(11, 11);
   const ListAssignment lists = tight_nice_lists(g, 9, rng);
-  const NiceResult r = nice_list_coloring(g, lists);
-  expect_proper_list_coloring(g, r.coloring, lists);
+  const ColoringReport r = nice_list_coloring(g, lists);
+  expect_proper_list_coloring(g, *r.coloring, lists);
 }
 
 TEST(Nice, RejectsNonNice) {
@@ -118,9 +118,9 @@ TEST(Nice, ImpliesCorollary21OnDeltaLists) {
   const Graph g = random_regular(100, 4, rng);
   const ListAssignment lists = random_lists(100, 4, 11, rng);
   ASSERT_TRUE(is_nice_assignment(g, lists));
-  const NiceResult via_nice = nice_list_coloring(g, lists);
-  expect_proper_list_coloring(g, via_nice.coloring, lists);
-  const DeltaListResult via_delta = delta_list_coloring(g, lists);
+  const ColoringReport via_nice = nice_list_coloring(g, lists);
+  expect_proper_list_coloring(g, *via_nice.coloring, lists);
+  const ColoringReport via_delta = delta_list_coloring(g, lists);
   ASSERT_TRUE(via_delta.coloring.has_value());
   expect_proper_list_coloring(g, *via_delta.coloring, lists);
 }
@@ -130,8 +130,8 @@ TEST(Nice, Determinism) {
   const Graph g = gnm(90, 130, rng);
   const ListAssignment lists =
       tight_nice_lists(g, static_cast<Color>(g.max_degree() + 4), rng);
-  const NiceResult a = nice_list_coloring(g, lists);
-  const NiceResult b = nice_list_coloring(g, lists);
+  const ColoringReport a = nice_list_coloring(g, lists);
+  const ColoringReport b = nice_list_coloring(g, lists);
   EXPECT_EQ(a.coloring, b.coloring);
 }
 

@@ -36,9 +36,8 @@ TEST(Randomized, ValidOnFamilies) {
       const ListAssignment lists = deg_plus_one_lists(
           g, static_cast<Color>(g.max_degree() + 4), lists_rng);
       Rng run_rng(703 + static_cast<std::uint64_t>(t));
-      const RandomizedColoringResult r =
-          randomized_list_coloring(g, lists, run_rng);
-      expect_proper_list_coloring(g, r.coloring, lists);
+      const ColoringReport r = randomized_list_coloring(g, lists, run_rng);
+      expect_proper_list_coloring(g, *r.coloring, lists);
     }
   }
 }
@@ -89,9 +88,9 @@ TEST(Randomized, CliqueWithExactLists) {
   // K_5 with (deg+1) = 5-lists: always colorable, randomized finds it.
   const Graph k5 = complete(5);
   Rng rng(727);
-  const RandomizedColoringResult r =
+  const ColoringReport r =
       randomized_list_coloring(k5, uniform_lists(5, 5), rng);
-  expect_proper_list_coloring(k5, r.coloring, uniform_lists(5, 5));
+  expect_proper_list_coloring(k5, *r.coloring, uniform_lists(5, 5));
 }
 
 TEST(Randomized, LedgerCharged) {

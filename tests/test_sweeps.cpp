@@ -60,7 +60,7 @@ TEST_P(DerivedSweep, ValidColoring) {
                          static_cast<Color>(2 * d + 3), rng)
           : uniform_lists(g.num_vertices(), static_cast<Color>(d));
 
-  SparseResult r = [&] {
+  ColoringReport r = [&] {
     if (kind == "planar6") return planar_six_list_coloring(g, lists);
     if (kind == "tf4") return triangle_free_planar_four_list_coloring(g, lists);
     if (kind == "g6p3") return girth_six_planar_three_list_coloring(g, lists);

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate a scol-cli JSON report against tools/report_schema.json.
+
+Usage: scol-cli ... | python3 tools/check_report.py [--expect-status colored]
+
+Stdlib only (CI runs it without installing anything). Exits non-zero with
+a message naming every violation.
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+KIND_CHECKS = {
+    "str": lambda v: isinstance(v, str),
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "num": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "bool": lambda v: isinstance(v, bool),
+    "obj": lambda v: isinstance(v, dict),
+}
+
+
+def check(report: dict, schema: dict) -> list[str]:
+    errors = []
+
+    def require(obj, spec, where):
+        for key, kind in spec.items():
+            if key not in obj:
+                errors.append(f"missing key {where}{key}")
+            elif not KIND_CHECKS[kind](obj[key]):
+                errors.append(
+                    f"key {where}{key} has type {type(obj[key]).__name__}, "
+                    f"wanted {kind}")
+
+    require(report, schema["required"], "")
+    if isinstance(report.get("scenario"), dict):
+        require(report["scenario"], schema["scenario_required"], "scenario.")
+    status = report.get("status")
+    if status not in schema["status_values"]:
+        errors.append(f"status {status!r} not in {schema['status_values']}")
+
+    # Cross-field consistency: rounds equal the ledger total; a colored
+    # report names at least one color on a non-empty graph.
+    ledger = report.get("ledger")
+    if isinstance(ledger, dict) and isinstance(report.get("rounds"), int):
+        total = sum(v for v in ledger.values() if isinstance(v, int))
+        if total != report["rounds"]:
+            errors.append(f"rounds {report['rounds']} != ledger total {total}")
+    if status == "colored":
+        scenario = report.get("scenario", {})
+        if scenario.get("n", 0) > 0 and report.get("colors_used", 0) <= 0:
+            errors.append("colored report with no colors used")
+    if status == "failed" and not report.get("failure_reason"):
+        errors.append("failed report without failure_reason")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--expect-status", default=None,
+                        help="additionally require this status value")
+    parser.add_argument("--schema",
+                        default=pathlib.Path(__file__).parent /
+                        "report_schema.json")
+    args = parser.parse_args()
+
+    schema = json.loads(pathlib.Path(args.schema).read_text())
+    try:
+        report = json.load(sys.stdin)
+    except json.JSONDecodeError as e:
+        print(f"check_report: stdin is not valid JSON: {e}", file=sys.stderr)
+        return 1
+
+    errors = check(report, schema)
+    if args.expect_status and report.get("status") != args.expect_status:
+        errors.append(
+            f"expected status {args.expect_status!r}, got "
+            f"{report.get('status')!r}")
+    if errors:
+        for e in errors:
+            print(f"check_report: {e}", file=sys.stderr)
+        return 1
+    print(f"check_report: ok ({report['algorithm']} -> {report['status']}, "
+          f"{report['colors_used']} colors, {report['rounds']} rounds)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
