@@ -1,11 +1,14 @@
 // scol-cli — run any registered algorithm over any generator scenario and
-// emit a machine-readable JSON ColoringReport.
+// emit a machine-readable JSON ColoringReport; `scol-cli campaign` runs a
+// whole scenario x algorithm x seed grid with the consistency oracle.
 //
 //   $ scol-cli --algo sparse --gen regular:n=512,d=4 --k 4
 //   $ scol-cli --algo gps --gen planar:n=800 --pretty
 //   $ scol-cli --algo randomized --gen grid --lists random --palette 16
 //   $ scol-cli --list-algos        # registry contents
 //   $ scol-cli --list-gens         # scenario vocabulary
+//   $ scol-cli campaign --gen grid --gen regular:n=64,d=4 --algo greedy
+//       --algo sparse --seeds 5 --jobs 4 --out runs.jsonl
 //
 // Flags:
 //   --algo NAME        algorithm (required unless listing)
@@ -23,12 +26,29 @@
 //   --with-coloring    include the full coloring in the JSON
 //   --pretty           indent the JSON
 //
+// Campaign mode (`scol-cli campaign`):
+//   --gen SPEC         scenario axis (repeatable; default grid)
+//   --algo NAME        algorithm axis (repeatable; "all" = whole registry)
+//   --seed S           first seed (default 1)
+//   --seeds N          seeds per scenario (default 1)
+//   --k / --lists / --palette / --param / --round-budget as above
+//   --algo-param NAME:key=val   per-algorithm param override (repeatable)
+//   --jobs N           thread pool over instances — one instance is all
+//                      algorithms on one generated graph (default 1)
+//   --shard i/m        run shard i of m (instances round-robin)
+//   --out FILE         JSONL to FILE, summary to stdout (default: JSONL to
+//                      stdout, summary to stderr)
+//   --with-timing      real per-line wall_ms (breaks stream bit-identity)
+//
 // Exit code: 0 for a kColored/kInfeasible report (both are answers),
-// 1 for kFailed, 2 for usage errors.
+// 1 for kFailed (or, in campaign mode, any oracle violation), 2 for
+// usage errors.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "scol/api/api.h"
 #include "scol/util/executor.h"
@@ -83,9 +103,147 @@ void list_scenarios() {
   std::cout << arr.dump(2) << "\n";
 }
 
+[[noreturn]] void campaign_usage_error(const std::string& message) {
+  std::cerr << "scol-cli campaign: " << message << "\n"
+            << "usage: scol-cli campaign [--gen SPEC]... --algo NAME|all "
+               "[--algo NAME]...\n"
+               "                [--seed S] [--seeds N] [--k K] "
+               "[--lists uniform|random] [--palette P]\n"
+               "                [--param key=val]... "
+               "[--algo-param NAME:key=val]... [--round-budget R]\n"
+               "                [--jobs N] [--shard i/m] [--out FILE] "
+               "[--with-timing] [--pretty]\n";
+  std::exit(2);
+}
+
+// `scol-cli campaign ...`: the grid runner. JSONL goes to --out (or
+// stdout), the aggregate summary to stdout (or stderr when the lines own
+// stdout), and the exit code surfaces oracle violations.
+int campaign_main(int argc, char** argv) {
+  CampaignSpec spec;
+  CampaignOptions options;
+  int jobs = 1;
+  bool pretty = false;
+  std::string out_path;
+
+  const auto need_value = [&](int i, const char* flag) -> std::string {
+    if (i + 1 >= argc) campaign_usage_error(std::string(flag) +
+                                            " needs a value");
+    return argv[i + 1];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gen") {
+      spec.scenarios.push_back(need_value(i, "--gen"));
+      ++i;
+    } else if (arg == "--algo") {
+      const std::string name = need_value(i, "--algo");
+      if (name == "all") {
+        for (const auto& n : AlgorithmRegistry::instance().names())
+          spec.algorithms.push_back(n);
+      } else {
+        spec.algorithms.push_back(name);
+      }
+      ++i;
+    } else if (arg == "--seed") {
+      spec.seed = std::strtoull(need_value(i, "--seed").c_str(), nullptr, 10);
+      ++i;
+    } else if (arg == "--seeds") {
+      spec.seeds = std::atoi(need_value(i, "--seeds").c_str());
+      ++i;
+    } else if (arg == "--k") {
+      spec.k = std::atoi(need_value(i, "--k").c_str());
+      ++i;
+    } else if (arg == "--lists") {
+      spec.lists_mode = need_value(i, "--lists");
+      ++i;
+    } else if (arg == "--palette") {
+      spec.palette = std::atoi(need_value(i, "--palette").c_str());
+      ++i;
+    } else if (arg == "--param") {
+      parse_param(spec.params, need_value(i, "--param"));
+      ++i;
+    } else if (arg == "--algo-param") {
+      const std::string v = need_value(i, "--algo-param");
+      const std::size_t colon = v.find(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 == v.size())
+        campaign_usage_error("--algo-param wants NAME:key=val, got '" + v +
+                             "'");
+      ParamBag bag;
+      parse_param(bag, v.substr(colon + 1));
+      spec.algo_params.emplace_back(v.substr(0, colon), std::move(bag));
+      ++i;
+    } else if (arg == "--round-budget") {
+      spec.round_budget = std::atoll(need_value(i, "--round-budget").c_str());
+      ++i;
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(need_value(i, "--jobs").c_str());
+      ++i;
+    } else if (arg == "--shard") {
+      const std::string v = need_value(i, "--shard");
+      const std::size_t slash = v.find('/');
+      if (slash == std::string::npos)
+        campaign_usage_error("--shard wants i/m, got '" + v + "'");
+      options.shard_index = std::atoi(v.substr(0, slash).c_str());
+      options.shard_count = std::atoi(v.substr(slash + 1).c_str());
+      ++i;
+    } else if (arg == "--out") {
+      out_path = need_value(i, "--out");
+      ++i;
+    } else if (arg == "--with-timing") {
+      options.include_timing = true;
+    } else if (arg == "--pretty") {
+      pretty = true;
+    } else {
+      campaign_usage_error("unknown flag '" + arg + "'");
+    }
+  }
+  if (spec.scenarios.empty()) spec.scenarios.push_back("grid");
+  if (spec.algorithms.empty())
+    campaign_usage_error("--algo is required (name or 'all')");
+  if (jobs < 1) campaign_usage_error("--jobs must be >= 1");
+
+  try {
+    std::ofstream out_file;
+    if (!out_path.empty()) {
+      out_file.open(out_path);
+      if (!out_file) campaign_usage_error("cannot open --out '" + out_path +
+                                          "'");
+    }
+    std::ostream& lines = out_path.empty() ? std::cout : out_file;
+    std::ostream& summary = out_path.empty() ? std::cerr : std::cout;
+
+    // grain=1: the unit of job-level work is one instance, not 256.
+    std::unique_ptr<ThreadPoolExecutor> pool;
+    if (jobs > 1) {
+      pool = std::make_unique<ThreadPoolExecutor>(jobs, /*grain=*/1);
+      options.executor = pool.get();
+    }
+
+    const CampaignResult result = run_campaign(
+        spec, options, [&](const std::string& line) { lines << line << "\n"; });
+    lines.flush();
+    if (!lines) {
+      // Runtime failure (disk full, closed pipe), not a usage error: the
+      // JSONL stream is truncated, so don't pretend the run succeeded.
+      std::cerr << "scol-cli campaign: write to "
+                << (out_path.empty() ? "stdout" : "--out '" + out_path + "'")
+                << " failed; JSONL stream is incomplete\n";
+      return 1;
+    }
+    summary << result.summary.dump(pretty ? 2 : -1) << "\n";
+    return result.oracle_violations > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "scol-cli campaign: " << e.what() << "\n";
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "campaign")
+    return campaign_main(argc, argv);
   std::string algo;
   std::string gen = "grid";
   std::string lists_mode = "uniform";

@@ -3,6 +3,7 @@
 // registries, scol::solve(), and the JSON report writer.
 #pragma once
 
+#include "scol/api/campaign.h"
 #include "scol/api/context.h"
 #include "scol/api/json.h"
 #include "scol/api/params.h"

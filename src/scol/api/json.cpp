@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace scol {
 
@@ -125,8 +126,13 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
       break;
     case Kind::kReal: {
       if (std::isfinite(real_)) {
+        // Shortest decimal that parses back to the same double, so a
+        // report survives a JSON round trip without numeric drift.
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.6g", real_);
+        for (int prec = 15; prec <= 17; ++prec) {
+          std::snprintf(buf, sizeof(buf), "%.*g", prec, real_);
+          if (std::strtod(buf, nullptr) == real_) break;
+        }
         out += buf;
       } else {
         out += "null";  // JSON has no inf/nan

@@ -3,6 +3,30 @@
 #include <algorithm>
 
 namespace scol {
+namespace {
+
+// Default guarantee for every list-respecting algorithm: a coloring drawn
+// from the lists can use at most the number of distinct colors across
+// them (equal to k for uniform k-lists).
+std::int64_t distinct_list_colors(const ColoringRequest& req) {
+  if (req.lists == nullptr) return -1;
+  const auto& lists = req.lists->lists;
+  if (lists.empty()) return 0;
+  // Fast path for the dominant shape, uniform lists: every list equals
+  // the first, so the distinct count is its size (lists are canonical —
+  // sorted and duplicate-free).
+  if (std::all_of(lists.begin(), lists.end(),
+                  [&](const std::vector<Color>& l) { return l == lists[0]; }))
+    return static_cast<std::int64_t>(lists[0].size());
+  std::vector<Color> all;
+  for (const auto& list : lists)
+    all.insert(all.end(), list.begin(), list.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return static_cast<std::int64_t>(all.size());
+}
+
+}  // namespace
 
 AlgorithmRegistry& AlgorithmRegistry::instance() {
   static AlgorithmRegistry* registry = [] {
@@ -19,6 +43,8 @@ void AlgorithmRegistry::add(AlgorithmInfo info) {
                + "algorithm must have a run function");
   SCOL_REQUIRE(find(info.name) == nullptr,
                + ("duplicate algorithm name '" + info.name + "'"));
+  if (!info.color_bound && info.caps.needs_lists)
+    info.color_bound = distinct_list_colors;
   algorithms_.push_back(std::move(info));
 }
 

@@ -37,6 +37,13 @@ struct AlgorithmInfo {
   std::string summary;  // includes the params it reads
   AlgorithmCaps caps;
   std::function<ColoringReport(const ColoringRequest&, RunContext&)> run;
+  /// Registered guarantee: an upper bound on colors_used that any kColored
+  /// report for this request must respect, or -1 when the bound cannot be
+  /// computed from the request alone (missing param, no guarantee). List
+  /// algorithms bound by the distinct colors across the lists; palette
+  /// algorithms by their palette. The campaign oracle flags every
+  /// colored report that exceeds its algorithm's bound.
+  std::function<std::int64_t(const ColoringRequest&)> color_bound;
 };
 
 class AlgorithmRegistry {

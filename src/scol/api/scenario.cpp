@@ -17,110 +17,126 @@ Vertex geti(const ParamBag& p, const char* key, std::int64_t def) {
 
 void register_builtin_scenarios(ScenarioRegistry& r) {
   // --- Lattices (planar and surface workloads). ---
-  r.add({"grid", "planar grid; rows=20, cols=20",
+  r.add({"grid", "planar grid; rows=20, cols=20", {"rows", "cols"},
          [](const ParamBag& p, Rng&) {
            return grid(geti(p, "rows", 20), geti(p, "cols", 20));
          }});
-  r.add({"cylinder", "planar cylinder; rows=16, cols=16",
+  r.add({"cylinder", "planar cylinder; rows=16, cols=16", {"rows", "cols"},
          [](const ParamBag& p, Rng&) {
            return cylinder(geti(p, "rows", 16), geti(p, "cols", 16));
          }});
   r.add({"torus", "torus quadrangulation (genus 1); rows=12, cols=12",
+         {"rows", "cols"},
          [](const ParamBag& p, Rng&) {
            return torus_grid(geti(p, "rows", 12), geti(p, "cols", 12));
          }});
   r.add({"torus-tri", "triangulated torus grid; rows=8, cols=8",
+         {"rows", "cols"},
          [](const ParamBag& p, Rng&) {
            return torus_triangulation(geti(p, "rows", 8), geti(p, "cols", 8));
          }});
   r.add({"klein", "Klein-bottle quadrangulation (Figure 2); k=9, l=9",
+         {"k", "l"},
          [](const ParamBag& p, Rng&) {
            return klein_grid(geti(p, "k", 9), geti(p, "l", 9));
          }});
   r.add({"hex", "hexagonal girth-6 patch; rows=16, cols=16",
+         {"rows", "cols"},
          [](const ParamBag& p, Rng&) {
            return hex_patch(geti(p, "rows", 16), geti(p, "cols", 16));
          }});
 
   // --- Random planar families (Corollary 2.3 workloads). ---
-  r.add({"planar", "random stacked (Apollonian) triangulation; n=400",
+  r.add({"planar", "random stacked (Apollonian) triangulation; n=400", {"n"},
          [](const ParamBag& p, Rng& rng) {
            return random_stacked_triangulation(geti(p, "n", 400), rng);
          }});
   r.add({"grid-diag", "grid with random diagonals; rows=16, cols=16",
+         {"rows", "cols"},
          [](const ParamBag& p, Rng& rng) {
            return grid_random_diagonals(geti(p, "rows", 16),
                                         geti(p, "cols", 16), rng);
          }});
   r.add({"subhex", "vertex-deleted hex patch (girth >= 6); rows=20, "
                    "cols=20, p=0.1",
+         {"rows", "cols", "p"},
          [](const ParamBag& p, Rng& rng) {
            return random_subhex(geti(p, "rows", 20), geti(p, "cols", 20),
                                 p.get_real("p", 0.1), rng);
          }});
 
   // --- Random sparse families (Theorem 1.3 / Corollary 1.4 workloads). ---
-  r.add({"gnm", "random simple graph with m edges; n=512, m=717",
+  r.add({"gnm", "random simple graph with m edges; n=512, m=717", {"n", "m"},
          [](const ParamBag& p, Rng& rng) {
            const Vertex n = geti(p, "n", 512);
            return gnm(n, p.get_int("m", static_cast<std::int64_t>(1.4 * n)),
                       rng);
          }});
-  r.add({"tree", "uniform random labelled tree; n=512",
+  r.add({"tree", "uniform random labelled tree; n=512", {"n"},
          [](const ParamBag& p, Rng& rng) {
            return random_tree(geti(p, "n", 512), rng);
          }});
   r.add({"forest", "union of a random spanning trees (arboricity <= a); "
                    "n=512, a=2",
+         {"n", "a"},
          [](const ParamBag& p, Rng& rng) {
            return random_forest_union(geti(p, "n", 512), geti(p, "a", 2),
                                       rng);
          }});
-  r.add({"regular", "random d-regular graph; n=512, d=4",
+  r.add({"regular", "random d-regular graph; n=512, d=4", {"n", "d"},
          [](const ParamBag& p, Rng& rng) {
            return random_regular(geti(p, "n", 512), geti(p, "d", 4), rng);
          }});
   r.add({"gallai", "random Gallai tree; blocks=40, max_clique=5",
+         {"blocks", "max_clique"},
          [](const ParamBag& p, Rng& rng) {
            return random_gallai_tree(geti(p, "blocks", 40),
                                      geti(p, "max_clique", 5), rng);
          }});
-  r.add({"non-gallai", "random connected non-Gallai graph; n=64",
+  r.add({"non-gallai", "random connected non-Gallai graph; n=64", {"n"},
          [](const ParamBag& p, Rng& rng) {
            return random_non_gallai(geti(p, "n", 64), rng);
          }});
 
   // --- Circulants and powers (lower-bound gadgets). ---
   r.add({"cycle-power", "k-th power of the cycle C_n; n=48, k=3",
+         {"n", "k"},
          [](const ParamBag& p, Rng&) {
            return cycle_power(geti(p, "n", 48), geti(p, "k", 3));
          }});
   r.add({"path-power", "k-th power of the path P_n; n=48, k=3",
+         {"n", "k"},
          [](const ParamBag& p, Rng&) {
            return path_power(geti(p, "n", 48), geti(p, "k", 3));
          }});
 
   // --- Named classics. ---
-  r.add({"complete", "complete graph K_n; n=8",
+  r.add({"complete", "complete graph K_n; n=8", {"n"},
          [](const ParamBag& p, Rng&) { return complete(geti(p, "n", 8)); }});
-  r.add({"bipartite", "complete bipartite K_{a,b}; a=4, b=4",
+  r.add({"bipartite", "complete bipartite K_{a,b}; a=4, b=4", {"a", "b"},
          [](const ParamBag& p, Rng&) {
            return complete_bipartite(geti(p, "a", 4), geti(p, "b", 4));
          }});
-  r.add({"cycle", "cycle C_n; n=32",
+  r.add({"cycle", "cycle C_n; n=32", {"n"},
          [](const ParamBag& p, Rng&) { return cycle(geti(p, "n", 32)); }});
-  r.add({"path", "path P_n; n=32",
+  r.add({"path", "path P_n; n=32", {"n"},
          [](const ParamBag& p, Rng&) { return path(geti(p, "n", 32)); }});
-  r.add({"star", "star with l leaves; leaves=16",
+  r.add({"star", "star with l leaves; leaves=16", {"leaves"},
          [](const ParamBag& p, Rng&) { return star(geti(p, "leaves", 16)); }});
-  r.add({"petersen", "Petersen graph ((3,5)-cage)",
+  r.add({"petersen", "Petersen graph ((3,5)-cage)", {},
          [](const ParamBag&, Rng&) { return petersen(); }});
-  r.add({"heawood", "Heawood graph ((3,6)-cage)",
+  r.add({"heawood", "Heawood graph ((3,6)-cage)", {},
          [](const ParamBag&, Rng&) { return heawood(); }});
-  r.add({"mcgee", "McGee graph ((3,7)-cage)",
+  r.add({"mcgee", "McGee graph ((3,7)-cage)", {},
          [](const ParamBag&, Rng&) { return mcgee(); }});
-  r.add({"grotzsch", "Grötzsch graph (triangle-free, chi = 4)",
+  r.add({"grotzsch", "Grötzsch graph (triangle-free, chi = 4)", {},
          [](const ParamBag&, Rng&) { return grotzsch(); }});
+}
+
+[[noreturn]] void spec_error(const std::string& spec, std::size_t offset,
+                             const std::string& what) {
+  throw PreconditionError("scenario spec '" + spec + "': " + what +
+                          " at offset " + std::to_string(offset));
 }
 
 }  // namespace
@@ -172,21 +188,53 @@ std::pair<std::string, ParamBag> parse_scenario_spec(const std::string& spec) {
   const std::size_t colon = spec.find(':');
   std::pair<std::string, ParamBag> out;
   out.first = spec.substr(0, colon);
-  SCOL_REQUIRE(!out.first.empty(), + "scenario spec needs a name");
+  if (out.first.empty()) spec_error(spec, 0, "empty scenario name");
   if (colon == std::string::npos) return out;
-  std::string rest = spec.substr(colon + 1);
-  std::size_t pos = 0;
-  while (pos < rest.size()) {
-    std::size_t comma = rest.find(',', pos);
-    if (comma == std::string::npos) comma = rest.size();
-    if (comma > pos) parse_param(out.second, rest.substr(pos, comma - pos));
+  // Each comma-separated segment must be "key=value" or a bare "key"
+  // (true flag). Empty segments, keys, and values are malformed — they
+  // are always a typo ("rows=,cols=8", "grid:,"), never intent.
+  std::size_t pos = colon + 1;
+  while (true) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma == pos) spec_error(spec, pos, "empty key=value segment");
+    const std::string segment = spec.substr(pos, comma - pos);
+    const std::size_t eq = segment.find('=');
+    if (eq == 0) spec_error(spec, pos, "empty key");
+    if (eq != std::string::npos && eq + 1 == segment.size())
+      spec_error(spec, pos + eq + 1,
+                 "empty value for key '" + segment.substr(0, eq) + "'");
+    parse_param(out.second, segment);
+    if (comma == spec.size()) break;
     pos = comma + 1;
+    if (pos == spec.size()) spec_error(spec, pos, "trailing comma");
   }
   return out;
 }
 
+std::pair<std::string, ParamBag> validate_scenario_spec(
+    const std::string& spec) {
+  auto parsed = parse_scenario_spec(spec);
+  const ScenarioInfo& info = ScenarioRegistry::instance().at(parsed.first);
+  for (const auto& [key, value] : parsed.second.items()) {
+    if (std::find(info.keys.begin(), info.keys.end(), key) !=
+        info.keys.end())
+      continue;
+    std::string known;
+    for (const auto& k : info.keys) known += (known.empty() ? "" : ", ") + k;
+    const std::size_t offset = spec.find(key + "=", parsed.first.size());
+    throw PreconditionError(
+        "scenario spec '" + spec + "': unknown key '" + key + "' for '" +
+        parsed.first + "' at offset " +
+        std::to_string(offset == std::string::npos ? spec.find(key)
+                                                   : offset) +
+        (info.keys.empty() ? " (takes no params)" : "; known keys: " + known));
+  }
+  return parsed;
+}
+
 Graph build_scenario(const std::string& spec, Rng& rng) {
-  const auto [name, params] = parse_scenario_spec(spec);
+  const auto [name, params] = validate_scenario_spec(spec);
   return ScenarioRegistry::instance().at(name).build(params, rng);
 }
 

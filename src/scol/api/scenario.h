@@ -24,6 +24,10 @@ namespace scol {
 struct ScenarioInfo {
   std::string name;
   std::string summary;  // family + the params it reads with defaults
+  /// Every param key this scenario reads. Specs naming any other key are
+  /// rejected by parse_scenario_spec/build_scenario — a misspelled
+  /// "rows=40" must not silently fall back to the default.
+  std::vector<std::string> keys;
   std::function<Graph(const ParamBag&, Rng&)> build;
 };
 
@@ -44,10 +48,19 @@ class ScenarioRegistry {
   std::vector<ScenarioInfo> scenarios_;
 };
 
-/// Splits "name:key=val,..." into (name, params).
+/// Splits "name:key=val,..." into (name, params). Malformed specs (empty
+/// name, empty segment, empty key or value, bad lex) throw
+/// PreconditionError naming the offending character offset; unknown-key
+/// rejection happens against the registry in validate_scenario_spec /
+/// build_scenario, which know the scenario's key set.
 std::pair<std::string, ParamBag> parse_scenario_spec(const std::string& spec);
 
-/// Parses the spec, looks up the scenario, builds the graph.
+/// Full spec check without building: parses, resolves the scenario, and
+/// rejects params outside ScenarioInfo::keys. Returns (name, params).
+std::pair<std::string, ParamBag> validate_scenario_spec(
+    const std::string& spec);
+
+/// Validates the spec (as above), then builds the graph.
 Graph build_scenario(const std::string& spec, Rng& rng);
 
 }  // namespace scol

@@ -88,6 +88,13 @@ AlgorithmCaps exact_caps(bool needs_lists, bool uses_k) {
   return c;
 }
 
+// --- Guarantee bounds for palette/degree algorithms (list algorithms get
+// the distinct-list-colors default from AlgorithmRegistry::add). ---
+
+std::int64_t max_degree_plus_one(const ColoringRequest& req) {
+  return req.graph == nullptr ? -1 : req.graph->max_degree() + 1;
+}
+
 }  // namespace
 
 void register_builtin_algorithms(AlgorithmRegistry& r) {
@@ -101,7 +108,8 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                list_color_sparse(*req.graph, sparse_d(req), *req.lists,
                                  sparse_options(req, ctx)),
                "");
-         }});
+         },
+         {}});
   r.add({"nice",
          "Theorem 6.1: list-coloring for nice assignments (|L(v)| >= "
          "deg(v), +1 on small-degree/clique-neighborhood vertices)",
@@ -109,28 +117,32 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
          [](const ColoringRequest& req, RunContext& ctx) {
            return nice_list_coloring(*req.graph, *req.lists,
                                      sparse_options(req, ctx));
-         }});
+         },
+         {}});
   r.add({"planar6",
          "Corollary 2.3(1): 6-list-coloring of planar graphs",
          caps(true, false, false, true),
          [](const ColoringRequest& req, RunContext& ctx) {
            return planar_six_list_coloring(*req.graph, *req.lists,
                                            sparse_options(req, ctx));
-         }});
+         },
+         {}});
   r.add({"planar4-trianglefree",
          "Corollary 2.3(2): 4-list-coloring of triangle-free planar graphs",
          caps(true, false, false, true),
          [](const ColoringRequest& req, RunContext& ctx) {
            return triangle_free_planar_four_list_coloring(
                *req.graph, *req.lists, sparse_options(req, ctx));
-         }});
+         },
+         {}});
   r.add({"planar3-girth6",
          "Corollary 2.3(3): 3-list-coloring of girth >= 6 planar graphs",
          caps(true, false, false, true),
          [](const ColoringRequest& req, RunContext& ctx) {
            return girth_six_planar_three_list_coloring(
                *req.graph, *req.lists, sparse_options(req, ctx));
-         }});
+         },
+         {}});
   r.add({"arboricity",
          "Corollary 1.4: 2a-list-coloring; params: arboricity (or k = 2a)",
          caps(true, true, false, true),
@@ -139,7 +151,8 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                "arboricity", req.k > 0 ? req.k / 2 : -1));
            return arboricity_list_coloring(*req.graph, a, *req.lists,
                                            sparse_options(req, ctx));
-         }});
+         },
+         {}});
   r.add({"genus",
          "Corollary 2.11: H(gamma)-list-coloring; params: genus",
          caps(true, false, false, true),
@@ -147,7 +160,8 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return genus_list_coloring(*req.graph,
                                       required_int(req, "genus"), *req.lists,
                                       sparse_options(req, ctx));
-         }});
+         },
+         {}});
   r.add({"genus-sharp",
          "Corollary 2.11 (sharp): (H(gamma)-1)-list-coloring or a K_H "
          "certificate; params: genus (with 24*genus+1 a perfect square)",
@@ -157,7 +171,8 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                                             required_int(req, "genus"),
                                             *req.lists,
                                             sparse_options(req, ctx));
-         }});
+         },
+         {}});
   r.add({"delta-list",
          "Corollary 2.1: Delta-list-coloring or a no-SDR K_{Delta+1} "
          "certificate (max degree >= 3)",
@@ -165,7 +180,8 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
          [](const ColoringRequest& req, RunContext& ctx) {
            return delta_list_coloring(*req.graph, *req.lists,
                                       sparse_options(req, ctx));
-         }});
+         },
+         {}});
   r.add({"ert",
          "Constructive Theorem 1.1 (Borodin; ERT): degree-choosable "
          "coloring of a connected non-Gallai (or surplus) graph",
@@ -175,7 +191,8 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                                 req.lists->lists.end());
            return ColoringReport::colored(
                degree_choosable_coloring(*req.graph, avail, ctx.executor));
-         }});
+         },
+         {}});
 
   // --- Baselines. ---
   r.add({"randomized",
@@ -191,7 +208,8 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                    : 40'000;
            return randomized_list_coloring(*req.graph, *req.lists, rng,
                                            nullptr, ctx.executor, max_rounds);
-         }});
+         },
+         {}});
   r.add({"linial",
          "Linial color reduction to a (dmax+1)-coloring (k = palette, "
          "default max degree + 1)",
@@ -207,6 +225,9 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            out.metrics.set_int("palette", dc.palette);
            out.sync_derived_fields();
            return out;
+         },
+         [](const ColoringRequest& req) {
+           return req.k > 0 ? req.k : max_degree_plus_one(req);
          }});
   r.add({"gps",
          "Goldberg-Plotkin-Shannon peel-and-recolor; params: threshold "
@@ -217,6 +238,11 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                "threshold", req.k > 0 ? req.k - 1 : 6));
            return peel_threshold_coloring(*req.graph, threshold,
                                           ctx.executor);
+         },
+         [](const ColoringRequest& req) {
+           return req.params.get_int("threshold",
+                                     req.k > 0 ? req.k - 1 : 6) +
+                  1;
          }});
   r.add({"barenboim-elkin",
          "Barenboim-Elkin H-partition coloring: floor((2+eps)a)+1 colors; "
@@ -229,6 +255,12 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                barenboim_elkin_coloring(*req.graph, a, eps, ctx.executor);
            out.metrics.set_int("palette", barenboim_elkin_palette(a, eps));
            return out;
+         },
+         [](const ColoringRequest& req) {
+           const std::int64_t a = req.params.get_int("arboricity", -1);
+           if (a <= 0) return std::int64_t{-1};
+           return static_cast<std::int64_t>(barenboim_elkin_palette(
+               static_cast<Vertex>(a), req.params.get_real("eps", 1.0)));
          }});
   r.add({"greedy",
          "Sequential greedy in vertex-id order",
@@ -236,19 +268,28 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
          [](const ColoringRequest& req, RunContext&) {
            return ColoringReport::colored(greedy_coloring(
                *req.graph, identity_order(req.graph->num_vertices())));
-         }});
+         },
+         max_degree_plus_one});
   r.add({"degeneracy",
          "Greedy in reverse degeneracy order: <= floor(mad)+1 colors",
          caps(false, false, false, false),
          [](const ColoringRequest& req, RunContext&) {
            return ColoringReport::colored(degeneracy_coloring(*req.graph));
+         },
+         [](const ColoringRequest& req) {
+           // Deliberately recomputed (O(n + m)) rather than read off the
+           // run's own order: the oracle bound must not trust the
+           // algorithm it is checking.
+           return static_cast<std::int64_t>(
+               degeneracy_order(*req.graph).degeneracy + 1);
          }});
   r.add({"dsatur",
          "DSATUR saturation-degree heuristic",
          caps(false, false, false, false),
          [](const ColoringRequest& req, RunContext&) {
            return ColoringReport::colored(dsatur_coloring(*req.graph));
-         }});
+         },
+         max_degree_plus_one});
   r.add({"degeneracy-list",
          "Greedy list-coloring in reverse degeneracy order (succeeds when "
          "every list exceeds the degeneracy)",
@@ -257,7 +298,8 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return from_optional(
                degeneracy_list_coloring(*req.graph, *req.lists),
                "degeneracy greedy found a vertex with no free list color");
-         }});
+         },
+         {}});
 
   // --- Exact solvers and special substrates. ---
   r.add({"exact",
@@ -269,6 +311,9 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return from_exact(find_k_coloring(
                *req.graph, req.k,
                req.params.get_int("node_budget", 50'000'000)));
+         },
+         [](const ColoringRequest& req) {
+           return static_cast<std::int64_t>(req.k);
          }});
   r.add({"exact-list",
          "Exact list-coloring by MRV backtracking (params: node_budget)",
@@ -277,7 +322,8 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return from_exact(find_list_coloring(
                *req.graph, *req.lists,
                req.params.get_int("node_budget", 50'000'000)));
-         }});
+         },
+         {}});
   r.add({"sdr",
          "SDR clique coloring (Corollary 2.1 substrate): the graph must "
          "be one clique; colors by bipartite matching or certifies no SDR",
@@ -292,7 +338,8 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            if (!c.has_value())
              return ColoringReport::infeasible(all, "no-sdr-clique");
            return ColoringReport::colored(std::move(*c));
-         }});
+         },
+         {}});
 }
 
 ColoringReport solve(const ColoringRequest& request, RunContext& ctx) {

@@ -138,7 +138,8 @@ TEST(Registry, Completeness) {
                    {"sparse", "dup", {}, [](const ColoringRequest&,
                                             RunContext&) {
                       return ColoringReport{};
-                    }}),
+                    },
+                    {}}),
                PreconditionError);
   EXPECT_THROW(AlgorithmRegistry::instance().at("no-such-algorithm"),
                PreconditionError);
@@ -267,6 +268,38 @@ TEST(Scenarios, RegistryAndSpecs) {
   EXPECT_EQ(bare.num_vertices(), 10);
   EXPECT_THROW(build_scenario("no-such-family", r3), PreconditionError);
   EXPECT_THROW(build_scenario(":n=3", r3), PreconditionError);
+
+  // Malformed key=val pairs are rejected with a position-carrying error,
+  // never silently skipped.
+  EXPECT_THROW(parse_scenario_spec("grid:rows=8,,cols=9"),
+               PreconditionError);
+  EXPECT_THROW(parse_scenario_spec("grid:rows="), PreconditionError);
+  EXPECT_THROW(parse_scenario_spec("grid:=8"), PreconditionError);
+  EXPECT_THROW(parse_scenario_spec("grid:rows=8,"), PreconditionError);
+  try {
+    parse_scenario_spec("grid:rows=8,,cols=9");
+    FAIL() << "empty segment must throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 12"), std::string::npos)
+        << e.what();
+  }
+
+  // Unknown keys are rejected against the scenario's declared key set.
+  EXPECT_THROW(validate_scenario_spec("grid:rowz=8"), PreconditionError);
+  EXPECT_THROW(build_scenario("petersen:n=10", r3), PreconditionError);
+  try {
+    validate_scenario_spec("grid:rowz=8");
+    FAIL() << "unknown key must throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key 'rowz'"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    EXPECT_NE(what.find("rows"), std::string::npos) << what;  // known keys
+  }
+  // Well-formed specs with known keys still pass.
+  EXPECT_NO_THROW(validate_scenario_spec("grid:rows=4,cols=5"));
+  for (const auto& sname : ScenarioRegistry::instance().names())
+    EXPECT_NO_THROW(validate_scenario_spec(sname));
 
   // Every scenario builds with defaults and yields a non-trivial graph.
   for (const auto& sname : ScenarioRegistry::instance().names()) {

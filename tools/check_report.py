@@ -1,10 +1,15 @@
 #!/usr/bin/env python3
-"""Validate a scol-cli JSON report against tools/report_schema.json.
+"""Validate scol-cli JSON output against tools/report_schema.json.
 
-Usage: scol-cli ... | python3 tools/check_report.py [--expect-status colored]
+Single-report mode (default):
+    scol-cli ... | python3 tools/check_report.py [--expect-status colored]
+
+Campaign JSONL mode (one report per line, the `scol-cli campaign` stream):
+    python3 tools/check_report.py --jsonl [--expect-oracle-clean] \
+        [--expect-jobs N] < runs.jsonl
 
 Stdlib only (CI runs it without installing anything). Exits non-zero with
-a message naming every violation.
+a message naming every violation (line-numbered in --jsonl mode).
 """
 import argparse
 import json
@@ -17,10 +22,12 @@ KIND_CHECKS = {
     "num": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
     "bool": lambda v: isinstance(v, bool),
     "obj": lambda v: isinstance(v, dict),
+    "list": lambda v: isinstance(v, list),
 }
 
 
-def check(report: dict, schema: dict) -> list[str]:
+def check(report: dict, schema: dict, campaign_line: bool = False
+          ) -> list[str]:
     errors = []
 
     def require(obj, spec, where):
@@ -39,6 +46,20 @@ def check(report: dict, schema: dict) -> list[str]:
     if status not in schema["status_values"]:
         errors.append(f"status {status!r} not in {schema['status_values']}")
 
+    if campaign_line:
+        require(report, schema["campaign_required"], "")
+        if isinstance(report.get("oracle"), dict):
+            require(report["oracle"], schema["oracle_required"], "oracle.")
+            oracle = report["oracle"]
+            if oracle.get("ok") is True and oracle.get("violations"):
+                errors.append("oracle.ok true but violations non-empty")
+            if oracle.get("ok") is False and not oracle.get("violations"):
+                errors.append("oracle.ok false without a violation message")
+        if report.get("lists") not in schema["lists_values"]:
+            errors.append(
+                f"lists {report.get('lists')!r} not in "
+                f"{schema['lists_values']}")
+
     # Cross-field consistency: rounds equal the ledger total; a colored
     # report names at least one color on a non-empty graph.
     ledger = report.get("ledger")
@@ -55,16 +76,83 @@ def check(report: dict, schema: dict) -> list[str]:
     return errors
 
 
+def check_jsonl(stream, schema: dict, args) -> list[str]:
+    errors = []
+    reports = []
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            report = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {lineno}: not valid JSON: {e}")
+            continue
+        for e in check(report, schema, campaign_line=True):
+            errors.append(f"line {lineno}: {e}")
+        reports.append(report)
+
+    # An empty stream must not validate clean (a truncated or crashed
+    # campaign would otherwise pass); `--expect-jobs 0` opts a genuinely
+    # empty shard back in.
+    if not reports and args.expect_jobs != 0:
+        errors.append("no JSONL lines parsed (pass --expect-jobs 0 if an "
+                      "empty shard is intended)")
+    # Stream-level consistency: the "job" field is the line's position in
+    # the (shard's slice of the) grid — strictly increasing, and dense
+    # from 0 for an unsharded run.
+    jobs = [r.get("job") for r in reports if isinstance(r.get("job"), int)]
+    if any(b <= a for a, b in zip(jobs, jobs[1:])):
+        errors.append("job indices are not strictly increasing")
+    if args.expect_jobs is not None and len(reports) != args.expect_jobs:
+        errors.append(f"expected {args.expect_jobs} lines, got {len(reports)}")
+    if args.expect_colored is not None:
+        colored = sum(1 for r in reports if r.get("status") == "colored")
+        if colored < args.expect_colored:
+            errors.append(
+                f"expected >= {args.expect_colored} colored lines, got "
+                f"{colored}")
+    if args.expect_oracle_clean:
+        dirty = sum(1 for r in reports
+                    if isinstance(r.get("oracle"), dict)
+                    and r["oracle"].get("ok") is not True)
+        if dirty:
+            errors.append(f"{dirty} line(s) with oracle violations")
+    if not errors:
+        colored = sum(1 for r in reports if r.get("status") == "colored")
+        failed = sum(1 for r in reports if r.get("status") == "failed")
+        print(f"check_report: ok ({len(reports)} jsonl lines, "
+              f"{colored} colored, {failed} failed)")
+    return errors
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--expect-status", default=None,
                         help="additionally require this status value")
+    parser.add_argument("--jsonl", action="store_true",
+                        help="validate a campaign JSONL stream instead of "
+                             "one report")
+    parser.add_argument("--expect-oracle-clean", action="store_true",
+                        help="fail if any JSONL line has oracle.ok != true")
+    parser.add_argument("--expect-jobs", type=int, default=None,
+                        help="require exactly this many JSONL lines")
+    parser.add_argument("--expect-colored", type=int, default=None,
+                        help="require at least this many colored lines "
+                             "(an all-failed campaign must not pass)")
     parser.add_argument("--schema",
                         default=pathlib.Path(__file__).parent /
                         "report_schema.json")
     args = parser.parse_args()
 
     schema = json.loads(pathlib.Path(args.schema).read_text())
+
+    if args.jsonl:
+        errors = check_jsonl(sys.stdin, schema, args)
+        for e in errors:
+            print(f"check_report: {e}", file=sys.stderr)
+        return 1 if errors else 0
+
     try:
         report = json.load(sys.stdin)
     except json.JSONDecodeError as e:
