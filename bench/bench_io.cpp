@@ -1,0 +1,106 @@
+// B14 — graph-file ingestion throughput: parse MB/s per format on a
+// generated sparse instance, write/read round-trip integrity, and the
+// structure-probe cost that campaign probe filtering pays once per
+// instance.
+//
+// Metric: MB/s of text parsed (the readers are single-pass and
+// line-buffered, so throughput is tokenizer-bound) and probe wall time
+// split by component cost class (linear peel/BFS vs bounded
+// planarity/flow).
+//
+//   $ ./bench_io [n]      (default n = 20000 vertices, ~1.4n edges)
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "scol/gen/random.h"
+#include "scol/io/io.h"
+#include "scol/io/probe.h"
+#include "scol/util/rng.h"
+#include "scol/util/table.h"
+
+using namespace scol;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Vertex n = 20000;
+  if (argc > 1) {
+    n = static_cast<Vertex>(std::atoi(argv[1]));
+    if (n < 10) {
+      std::cerr << "usage: bench_io [n >= 10]\n";
+      return 2;
+    }
+  }
+  // Two overlaid spanning trees: ~2n edges, connected, no isolated
+  // vertices (the edge-list format cannot represent those).
+  Rng rng(42);
+  const Graph g = random_forest_union(n, 2, rng);
+  std::cout << "bench_io: " << describe(g) << "\n\n";
+
+  Table table({"format", "bytes", "write_ms", "parse_ms", "parse_MB/s",
+               "round_trip"});
+  for (const GraphFormat format :
+       {GraphFormat::kDimacs, GraphFormat::kMetis,
+        GraphFormat::kMatrixMarket, GraphFormat::kEdgeList}) {
+    std::ostringstream os;
+    const auto w0 = Clock::now();
+    write_graph(os, g, format);
+    const double write_ms = ms_since(w0);
+    const std::string text = os.str();
+
+    std::istringstream in(text);
+    const auto p0 = Clock::now();
+    const ReadResult r = read_graph(in, format, "bench");
+    const double parse_ms = ms_since(p0);
+
+    const bool identical = r.graph.num_vertices() == g.num_vertices() &&
+                           r.graph.edges() == g.edges();
+    table.row(format_name(format), text.size(), write_ms, parse_ms,
+              static_cast<double>(text.size()) / 1e6 / (parse_ms / 1e3),
+              identical ? "yes" : "NO");
+    if (!identical) {
+      std::cerr << "bench_io: round trip diverged for "
+                << format_name(format) << "\n";
+      return 1;
+    }
+  }
+  table.print(std::cout);
+
+  // The probe, as the campaign pays it: once per instance. The linear
+  // components always run; planarity and exact mad/arboricity only
+  // below their limits (this instance is above the defaults).
+  const auto t0 = Clock::now();
+  const GraphProbe probe = probe_graph(g);
+  const double probe_ms = ms_since(t0);
+  std::cout << "\nprobe (" << probe_ms << " ms): " << describe(probe)
+            << "\n";
+
+  // The bounded components at full strength, on a size they are sized
+  // for (the flow-based mad/arboricity and Demoucron planarity are the
+  // reason the limits exist).
+  const Vertex deep_n = std::min<Vertex>(n, 2000);
+  Rng deep_rng(43);
+  const Graph h = random_forest_union(deep_n, 2, deep_rng);
+  ProbeOptions exhaustive;
+  exhaustive.planarity_limit = deep_n + 1;
+  exhaustive.exact_mad_limit = deep_n + 1;
+  const auto t1 = Clock::now();
+  const GraphProbe deep = probe_graph(h, exhaustive);
+  const double deep_ms = ms_since(t1);
+  std::cout << "probe with exact mad/arboricity/planarity on n=" << deep_n
+            << " (" << deep_ms << " ms): " << describe(deep) << "\n";
+  return 0;
+}

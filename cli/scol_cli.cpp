@@ -1,14 +1,18 @@
-// scol-cli — run any registered algorithm over any generator scenario and
-// emit a machine-readable JSON ColoringReport; `scol-cli campaign` runs a
-// whole scenario x algorithm x seed grid with the consistency oracle.
+// scol-cli — run any registered algorithm over any generator or
+// file-backed scenario and emit a machine-readable JSON ColoringReport;
+// `scol-cli campaign` runs a whole scenario x algorithm x seed grid with
+// the consistency oracle; `scol-cli probe` reports a graph's certified
+// structure and which algorithms' preconditions it satisfies.
 //
 //   $ scol-cli --algo sparse --gen regular:n=512,d=4 --k 4
 //   $ scol-cli --algo gps --gen planar:n=800 --pretty
-//   $ scol-cli --algo randomized --gen grid --lists random --palette 16
+//   $ scol-cli --algo greedy --gen file:path=examples/graphs/grotzsch.col
+//   $ scol-cli probe --gen file:path=my.mtx       # structure + eligibility
 //   $ scol-cli --list-algos        # registry contents
 //   $ scol-cli --list-gens         # scenario vocabulary
 //   $ scol-cli campaign --gen grid --gen regular:n=64,d=4 --algo greedy
 //       --algo sparse --seeds 5 --jobs 4 --out runs.jsonl
+//   $ scol-cli campaign --gen file:path=g.col --algo all --seeds 3
 //
 // Flags:
 //   --algo NAME        algorithm (required unless listing)
@@ -39,6 +43,21 @@
 //   --out FILE         JSONL to FILE, summary to stdout (default: JSONL to
 //                      stdout, summary to stderr)
 //   --with-timing      real per-line wall_ms (breaks stream bit-identity)
+//   --no-probe         disable the probe filter: ineligible cells fail
+//                      with a PreconditionError message instead of
+//                      becoming status:"skipped" lines
+//   --planarity-limit N / --girth-limit L / --mad-limit N
+//                      probe cost bounds (same flags as `scol-cli probe`,
+//                      so a probe dry run predicts the campaign's skips)
+//
+// Probe mode (`scol-cli probe`):
+//   --gen SPEC         scenario to probe (generator or file:path=...)
+//   --k K              effective k for eligibility (default: per-algorithm
+//                      auto, max(3, max_degree + 1) for list algorithms)
+//   --param key=val    params visible to precondition checks (repeatable)
+//   --seed S           scenario seed (default 1)
+//   --planarity-limit N / --girth-limit L / --mad-limit N  probe bounds
+//   Prints {scenario, probe, algorithms:[{name, eligible, reason?, k}]}.
 //
 // Exit code: 0 for a kColored/kInfeasible report (both are answers),
 // 1 for kFailed (or, in campaign mode, any oracle violation), 2 for
@@ -103,6 +122,123 @@ void list_scenarios() {
   std::cout << arr.dump(2) << "\n";
 }
 
+[[noreturn]] void probe_usage_error(const std::string& message) {
+  std::cerr << "scol-cli probe: " << message << "\n"
+            << "usage: scol-cli probe [--gen SPEC] [--k K] [--seed S] "
+               "[--param key=val]...\n"
+               "                [--planarity-limit N] [--girth-limit L] "
+               "[--mad-limit N] [--pretty]\n";
+  std::exit(2);
+}
+
+// `scol-cli probe ...`: certified structure of one scenario's graph plus
+// the per-algorithm eligibility verdicts — the dry-run companion of
+// `campaign --algo all` over arbitrary files.
+int probe_main(int argc, char** argv) {
+  std::string gen = "grid";
+  Vertex k = -1;
+  std::uint64_t seed = 1;
+  bool pretty = false;
+  ParamBag params;
+  ProbeOptions probe_options;
+
+  const auto need_value = [&](int i, const char* flag) -> std::string {
+    if (i + 1 >= argc) probe_usage_error(std::string(flag) +
+                                         " needs a value");
+    return argv[i + 1];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gen") {
+      gen = need_value(i, "--gen");
+      ++i;
+    } else if (arg == "--k") {
+      k = std::atoi(need_value(i, "--k").c_str());
+      ++i;
+    } else if (arg == "--seed") {
+      seed = std::strtoull(need_value(i, "--seed").c_str(), nullptr, 10);
+      ++i;
+    } else if (arg == "--param") {
+      parse_param(params, need_value(i, "--param"));
+      ++i;
+    } else if (arg == "--planarity-limit") {
+      probe_options.planarity_limit =
+          std::atoi(need_value(i, "--planarity-limit").c_str());
+      ++i;
+    } else if (arg == "--girth-limit") {
+      probe_options.girth_limit =
+          std::atoi(need_value(i, "--girth-limit").c_str());
+      ++i;
+    } else if (arg == "--mad-limit") {
+      probe_options.exact_mad_limit =
+          std::atoi(need_value(i, "--mad-limit").c_str());
+      ++i;
+    } else if (arg == "--pretty") {
+      pretty = true;
+    } else {
+      probe_usage_error("unknown flag '" + arg + "'");
+    }
+  }
+
+  try {
+    Rng rng(seed);
+    const Graph g = build_scenario(gen, rng);
+    const GraphProbe probe = probe_graph(g, probe_options);
+
+    Json out = Json::object();
+    Json scenario = Json::object();
+    scenario.set("spec", Json::str(gen));
+    scenario.set("n", Json::integer(g.num_vertices()));
+    scenario.set("m", Json::integer(g.num_edges()));
+    scenario.set("max_degree", Json::integer(g.max_degree()));
+    out.set("scenario", std::move(scenario));
+
+    Json pj = Json::object();
+    pj.set("n", Json::integer(probe.n));
+    pj.set("m", Json::integer(probe.m));
+    pj.set("max_degree", Json::integer(probe.max_degree));
+    pj.set("degeneracy", Json::integer(probe.degeneracy));
+    pj.set("mad_upper", Json::real(probe.mad_upper));
+    pj.set("mad_exact", Json::boolean(probe.mad_exact));
+    pj.set("arboricity_upper", Json::integer(probe.arboricity_upper));
+    pj.set("arboricity_exact", Json::boolean(probe.arboricity_exact));
+    pj.set("components", Json::integer(probe.components));
+    pj.set("connected", Json::boolean(probe.connected));
+    pj.set("forest", Json::boolean(probe.forest));
+    pj.set("complete", Json::boolean(probe.complete));
+    pj.set("girth", Json::integer(probe.girth));
+    pj.set("girth_floor", Json::integer(probe.girth_floor));
+    pj.set("triangle_free", Json::boolean(probe.triangle_free));
+    pj.set("planar", Json::str(to_string(probe.planar)));
+    out.set("probe", std::move(pj));
+    out.set("k", Json::integer(k));
+    out.set("seed", Json::integer(static_cast<std::int64_t>(seed)));
+
+    // Mirror the campaign's per-job auto-k (effective_k) so the
+    // verdicts here predict exactly what `campaign --algo all` would
+    // skip, given the same --k/--param/probe-limit values.
+    Json algorithms = Json::array();
+    for (const auto& name : AlgorithmRegistry::instance().names()) {
+      const AlgorithmInfo& info = AlgorithmRegistry::instance().at(name);
+      const Vertex k_eff = effective_k(info, k, g.max_degree(), params);
+      const std::string reason = algorithm_skip_reason(
+          info, EligibilityQuery{&probe, &params, k_eff});
+      Json entry = Json::object();
+      entry.set("name", Json::str(name));
+      entry.set("eligible", Json::boolean(reason.empty()));
+      if (!reason.empty()) entry.set("reason", Json::str(reason));
+      entry.set("k", Json::integer(k_eff));
+      algorithms.push(std::move(entry));
+    }
+    out.set("algorithms", std::move(algorithms));
+    std::cout << out.dump(pretty ? 2 : -1) << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "scol-cli probe: " << e.what() << "\n";
+    return 2;
+  }
+}
+
 [[noreturn]] void campaign_usage_error(const std::string& message) {
   std::cerr << "scol-cli campaign: " << message << "\n"
             << "usage: scol-cli campaign [--gen SPEC]... --algo NAME|all "
@@ -112,7 +248,9 @@ void list_scenarios() {
                "                [--param key=val]... "
                "[--algo-param NAME:key=val]... [--round-budget R]\n"
                "                [--jobs N] [--shard i/m] [--out FILE] "
-               "[--with-timing] [--pretty]\n";
+               "[--with-timing] [--no-probe]\n"
+               "                [--planarity-limit N] [--girth-limit L] "
+               "[--mad-limit N] [--pretty]\n";
   std::exit(2);
 }
 
@@ -192,6 +330,20 @@ int campaign_main(int argc, char** argv) {
       ++i;
     } else if (arg == "--with-timing") {
       options.include_timing = true;
+    } else if (arg == "--no-probe") {
+      spec.probe = false;
+    } else if (arg == "--planarity-limit") {
+      spec.probe_options.planarity_limit =
+          std::atoi(need_value(i, "--planarity-limit").c_str());
+      ++i;
+    } else if (arg == "--girth-limit") {
+      spec.probe_options.girth_limit =
+          std::atoi(need_value(i, "--girth-limit").c_str());
+      ++i;
+    } else if (arg == "--mad-limit") {
+      spec.probe_options.exact_mad_limit =
+          std::atoi(need_value(i, "--mad-limit").c_str());
+      ++i;
     } else if (arg == "--pretty") {
       pretty = true;
     } else {
@@ -244,6 +396,8 @@ int campaign_main(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "campaign")
     return campaign_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "probe")
+    return probe_main(argc, argv);
   std::string algo;
   std::string gen = "grid";
   std::string lists_mode = "uniform";
@@ -320,12 +474,12 @@ int main(int argc, char** argv) {
 
     // Default k (only when lists are needed and --k was not given):
     // enough colors for every registered algorithm on any scenario (max
-    // degree + 1 covers d >= mad for sparse and deg+1 for randomized),
+    // degree + 1 covers d >= mad for sparse and deg+1 for randomized,
+    // AlgorithmInfo::min_k fixed palettes like planar6's 6-lists),
     // never below the Theorem 1.3 floor of 3. Algorithms that merely
     // *use* k (gps threshold, linial palette) keep their own defaults
     // unless --k is explicit.
-    if (k <= 0 && info.caps.needs_lists)
-      k = std::max<Vertex>(3, g.max_degree() + 1);
+    k = effective_k(info, k, g.max_degree(), params);
 
     ListAssignment lists;
     ColoringRequest req;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 
@@ -11,6 +12,7 @@
 #include "scol/api/scenario.h"
 #include "scol/api/solve.h"
 #include "scol/graph/graph.h"
+#include "scol/io/probe.h"
 
 namespace scol {
 namespace {
@@ -52,6 +54,8 @@ struct JobRun {
   std::string lists;        // "uniform" | "random" | "none"
   std::int64_t bound = -1;  // registered guarantee (-1 = none)
   bool colored_ok = false;  // kColored AND revalidated by the oracle
+  bool skipped = false;     // probe filter: precondition not satisfied
+  std::string skip_reason;  // set iff skipped
   double real_wall_ms = 0.0;
   std::vector<std::string> violations;
 };
@@ -118,6 +122,12 @@ void oracle_cross_check(std::vector<JobRun>& runs) {
 Json job_line(const JobRun& run, const std::string& scenario_spec,
               const Graph& g, bool include_timing) {
   Json line = to_json(run.report, /*include_coloring=*/false);
+  if (run.skipped) {
+    // Probe-filtered cell: the report shell is empty (no solve ran);
+    // the line carries the verdict and the probe's reason instead.
+    line.set("status", Json::str("skipped"));
+    line.set("skip_reason", Json::str(run.skip_reason));
+  }
   // The JSONL stream is bit-identical across job executors and shard
   // recombination; raw wall time would break that, so it is zeroed
   // unless explicitly requested (summary quantiles always use it).
@@ -151,6 +161,7 @@ Json job_line(const JobRun& run, const std::string& scenario_spec,
 // so campaign memory stays O(jobs), not O(jobs x n).
 struct SlimStat {
   SolveStatus status = SolveStatus::kFailed;
+  bool skipped = false;  // probe-filtered; status is meaningless then
   Vertex colors_used = 0;
   std::int64_t rounds = 0;
   double wall_ms = 0.0;
@@ -161,6 +172,7 @@ struct SlimStat {
 // summary is deterministic apart from the wall-time quantiles).
 struct AlgoStats {
   std::size_t jobs = 0, colored = 0, infeasible = 0, failed = 0;
+  std::size_t skipped = 0;
   std::size_t violations = 0;
   std::vector<std::int64_t> colors;  // colored jobs only
   std::vector<std::int64_t> rounds;
@@ -244,6 +256,30 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   std::mutex emit_mu;
   std::size_t next_to_emit = 0;
 
+  // File-backed scenarios ignore their Rng, so every seed of a spec is
+  // the same graph: parse and probe once per distinct spec instead of
+  // once per instance (a large .mtx would otherwise pay its dominant
+  // setup cost `seeds` times). The cached values are pure functions of
+  // the spec, so which worker populates the cache cannot affect the
+  // stream.
+  struct FileInstance {
+    std::once_flag graph_once, probe_once;
+    std::shared_ptr<const Graph> graph;
+    std::shared_ptr<const GraphProbe> probe;
+    std::string error;
+  };
+  // file_mu guards only the map shape; building happens under the
+  // entry's own once_flag, so one spec's multi-MB parse never blocks
+  // another spec's cache hit (std::map node stability keeps entry
+  // references valid across inserts).
+  std::mutex file_mu;
+  std::map<std::string, FileInstance> file_cache;
+  // Specs were validated by enumerate_campaign, so reading the name is
+  // a prefix check — no need to re-parse params per instance.
+  const auto is_file_spec = [](const std::string& s) {
+    return s.substr(0, s.find(':')) == "file";
+  };
+
   const Executor& exec = resolve_executor(options.executor);
   exec.parallel_ranges(local.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t li = begin; li < end; ++li) {
@@ -254,19 +290,49 @@ CampaignResult run_campaign(const CampaignSpec& spec,
 
       InstanceOut out;
       std::vector<JobRun> runs;
-      // Generation is paid once per instance; every algorithm of the
-      // grid row reuses this graph.
-      std::optional<Graph> graph;
+      // Generation is paid once per instance (once per SPEC for
+      // seed-independent file scenarios); every algorithm of the grid
+      // row reuses this graph.
+      const bool file_backed = is_file_spec(scenario_spec);
+      std::optional<Graph> local_graph;
+      std::shared_ptr<const Graph> shared_graph;
+      const Graph* graph = nullptr;
       std::string build_error;
-      try {
-        Rng rng(seed);
-        graph = build_scenario(scenario_spec, rng);
-      } catch (const std::exception& e) {
-        build_error = e.what();
+      FileInstance* file_entry = nullptr;
+      if (file_backed) {
+        {
+          std::lock_guard<std::mutex> lock(file_mu);
+          file_entry = &file_cache[scenario_spec];
+        }
+        std::call_once(file_entry->graph_once, [&] {
+          try {
+            Rng rng(seed);  // unused: file scenarios ignore their Rng
+            file_entry->graph = std::make_shared<const Graph>(
+                build_scenario(scenario_spec, rng));
+          } catch (const std::exception& e) {
+            file_entry->error = e.what();
+          }
+        });
+        shared_graph = file_entry->graph;
+        graph = shared_graph.get();
+        build_error = file_entry->error;
+      } else {
+        try {
+          Rng rng(seed);
+          local_graph = build_scenario(scenario_spec, rng);
+          graph = &*local_graph;
+        } catch (const std::exception& e) {
+          build_error = e.what();
+        }
       }
       // Lists shared across jobs with the same (k, palette): identical
       // assignments are what make the cross-job verdicts comparable.
       std::map<std::pair<Vertex, Color>, ListAssignment> lists_cache;
+      // Probed lazily: only when the filter is on AND some algorithm of
+      // the axis actually registered a precondition.
+      std::optional<GraphProbe> local_probe;
+      std::shared_ptr<const GraphProbe> shared_probe;
+      const GraphProbe* probe = nullptr;
 
       for (std::size_t a = 0; a < num_algorithms; ++a) {
         const AlgorithmInfo& info =
@@ -275,7 +341,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         run.job = grid[instance * num_algorithms + a];
         run.lists = "none";
 
-        if (!graph.has_value()) {
+        if (graph == nullptr) {
           run.report = ColoringReport::failed("scenario build failed: " +
                                               build_error);
           run.report.algorithm = info.name;
@@ -284,13 +350,39 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         }
 
         ColoringRequest req;
-        req.graph = &*graph;
+        req.graph = graph;
         req.algorithm = info.name;
         req.params = merged_params(spec, info.name);
-        run.k_eff = spec.k;
-        if (run.k_eff <= 0 && info.caps.needs_lists)
-          run.k_eff = std::max<Vertex>(3, graph->max_degree() + 1);
+        run.k_eff = effective_k(info, spec.k, graph->max_degree(),
+                                req.params);
         req.k = run.k_eff;
+
+        // Probe filter: answer ineligible cells without solving. The
+        // probe is a pure function of the graph, so the verdict — and
+        // the stream — stays bit-identical across executors and shards.
+        if (spec.probe && info.precondition) {
+          if (probe == nullptr) {
+            if (file_backed) {
+              std::call_once(file_entry->probe_once, [&] {
+                file_entry->probe = std::make_shared<const GraphProbe>(
+                    probe_graph(*graph, spec.probe_options));
+              });
+              shared_probe = file_entry->probe;
+              probe = shared_probe.get();
+            } else {
+              local_probe = probe_graph(*graph, spec.probe_options);
+              probe = &*local_probe;
+            }
+          }
+          run.skip_reason = algorithm_skip_reason(
+              info, EligibilityQuery{probe, &req.params, run.k_eff});
+          if (!run.skip_reason.empty()) {
+            run.skipped = true;
+            run.report.algorithm = info.name;
+            runs.push_back(std::move(run));
+            continue;
+          }
+        }
 
         const ListAssignment* lists = nullptr;
         if (info.caps.needs_lists) {
@@ -341,15 +433,16 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         runs.push_back(std::move(run));
       }
 
-      if (graph.has_value()) oracle_cross_check(runs);
+      if (graph != nullptr) oracle_cross_check(runs);
       const Graph empty;
       for (const JobRun& run : runs) {
         out.lines.push_back(
-            job_line(run, scenario_spec, graph.has_value() ? *graph : empty,
+            job_line(run, scenario_spec, graph != nullptr ? *graph : empty,
                      options.include_timing)
                 .dump());
         SlimStat stat;
         stat.status = run.report.status;
+        stat.skipped = run.skipped;
         stat.colors_used = run.report.colors_used;
         stat.rounds = run.report.rounds;
         stat.wall_ms = run.real_wall_ms;
@@ -379,6 +472,12 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       AlgoStats& s = stats[spec.algorithms[a]];
       ++s.jobs;
       ++result.jobs;
+      if (stat.skipped) {
+        // Probe-filtered: no solve ran, so nothing feeds the quantiles.
+        ++s.skipped;
+        ++result.skipped;
+        continue;
+      }
       switch (stat.status) {
         case SolveStatus::kColored:
           ++s.colored;
@@ -416,6 +515,17 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     campaign.set("lists", Json::str(spec.lists_mode));
     campaign.set("palette", Json::integer(spec.palette));
     campaign.set("round_budget", Json::integer(spec.round_budget));
+    campaign.set("probe", Json::boolean(spec.probe));
+    // The probe limits shape which cells skip, so the spec echo must
+    // carry them for a summary to be reproducible from itself.
+    Json probe_options = Json::object();
+    probe_options.set("planarity_limit",
+                      Json::integer(spec.probe_options.planarity_limit));
+    probe_options.set("girth_limit",
+                      Json::integer(spec.probe_options.girth_limit));
+    probe_options.set("exact_mad_limit",
+                      Json::integer(spec.probe_options.exact_mad_limit));
+    campaign.set("probe_options", std::move(probe_options));
     summary.set("campaign", std::move(campaign));
   }
   {
@@ -433,6 +543,8 @@ CampaignResult run_campaign(const CampaignSpec& spec,
               Json::integer(static_cast<std::int64_t>(result.infeasible)));
   summary.set("failed",
               Json::integer(static_cast<std::int64_t>(result.failed)));
+  summary.set("skipped",
+              Json::integer(static_cast<std::int64_t>(result.skipped)));
   summary.set("oracle_violations", Json::integer(static_cast<std::int64_t>(
                                        result.oracle_violations)));
   Json per_algorithm = Json::object();
@@ -443,6 +555,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     a.set("infeasible",
           Json::integer(static_cast<std::int64_t>(s.infeasible)));
     a.set("failed", Json::integer(static_cast<std::int64_t>(s.failed)));
+    a.set("skipped", Json::integer(static_cast<std::int64_t>(s.skipped)));
     a.set("oracle_violations",
           Json::integer(static_cast<std::int64_t>(s.violations)));
     a.set("colors_used", quantiles(s.colors));

@@ -24,6 +24,14 @@
 // (caps.proves_infeasibility) that disagree on the same list assignment,
 // or an infeasibility proof for uniform k-lists contradicted by any
 // validated coloring with <= k distinct colors, are violations.
+//
+// Probe filtering (CampaignSpec::probe, on by default) makes arbitrary
+// inputs — in particular file-backed scenarios, docs/FORMATS.md —
+// sweepable with `--algo all`: each instance's graph is probed once
+// (io/probe.h) and cells whose algorithm's structural precondition
+// (AlgorithmInfo::precondition) fails are answered as status:"skipped"
+// lines carrying the probe's reason, leaving the grid shape and every
+// determinism invariant intact.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +43,7 @@
 #include "scol/api/json.h"
 #include "scol/api/params.h"
 #include "scol/coloring/types.h"
+#include "scol/io/probe.h"
 #include "scol/util/executor.h"
 
 namespace scol {
@@ -46,18 +55,32 @@ struct CampaignSpec {
   std::vector<std::string> scenarios;
   /// Registered algorithm names (AlgorithmRegistry).
   std::vector<std::string> algorithms;
-  std::uint64_t seed = 1;  // first seed of the range
-  int seeds = 1;           // consecutive seeds per scenario
+  std::uint64_t seed = 1;  ///< first seed of the range
+  int seeds = 1;           ///< consecutive seeds per scenario
   /// Palette-ish k for every job; -1 = per-job auto: algorithms that need
   /// lists get max(3, max_degree + 1) on their instance, the rest keep
   /// their own defaults.
   Vertex k = -1;
-  std::string lists_mode = "uniform";  // "uniform" | "random"
-  Color palette = -1;                  // random-lists palette (-1 = 4k)
+  std::string lists_mode = "uniform";  ///< "uniform" | "random"
+  Color palette = -1;                  ///< random-lists palette (-1 = 4k)
   /// Shared per-job params, overridden per algorithm by algo_params.
   ParamBag params;
   std::vector<std::pair<std::string, ParamBag>> algo_params;
-  std::int64_t round_budget = -1;  // per-job RunContext round budget
+  std::int64_t round_budget = -1;  ///< per-job RunContext round budget
+  /// Probe filtering (on by default): each instance's graph is probed
+  /// once (io/probe.h) and jobs whose algorithm's registered structural
+  /// precondition fails become status:"skipped" lines (with a
+  /// "skip_reason") instead of running into a PreconditionError. This is
+  /// what lets `--algo all` sweep an arbitrary file: the grid shape —
+  /// and with it sharding, job indices, and stream bit-identity — is
+  /// unchanged; ineligible cells are just answered without solving.
+  /// Algorithms without a registered precondition always run.
+  bool probe = true;
+  /// Cost bounds for the per-instance probe (planarity / girth / exact
+  /// mad limits). `scol-cli probe` takes the same knobs, so its
+  /// verdicts predict a campaign's skips exactly when given the same
+  /// values.
+  ProbeOptions probe_options;
 };
 
 /// One cell of the grid. `index` is the job's position in the full grid
@@ -86,11 +109,12 @@ struct CampaignOptions {
 };
 
 struct CampaignResult {
-  std::size_t jobs = 0;       // jobs run in this shard
-  std::size_t instances = 0;  // graphs generated (one per instance)
+  std::size_t jobs = 0;       ///< jobs run in this shard (incl. skipped)
+  std::size_t instances = 0;  ///< graphs generated (one per instance)
   std::size_t colored = 0;
   std::size_t infeasible = 0;
   std::size_t failed = 0;
+  std::size_t skipped = 0;    ///< probe-filtered jobs (spec.probe)
   std::size_t oracle_violations = 0;
   /// Aggregate summary: per-algorithm status counts and colors / rounds /
   /// wall-time quantiles, oracle totals, shard and spec echo.

@@ -25,13 +25,15 @@ struct TelemetryEvent {
   enum class Kind { kSolveStart, kPhase, kSolveEnd };
   Kind kind = Kind::kSolveStart;
   std::string algorithm;
-  std::string phase;        // set for kPhase
-  std::int64_t rounds = 0;  // phase rounds (kPhase) or total (kSolveEnd)
-  double wall_ms = 0.0;     // 0 until kSolveEnd
+  std::string phase;        ///< set for kPhase
+  std::int64_t rounds = 0;  ///< phase rounds (kPhase) or total (kSolveEnd)
+  double wall_ms = 0.0;     ///< 0 until kSolveEnd
 };
 
 using TelemetryCallback = std::function<void(const TelemetryEvent&)>;
 
+/// The execution environment of one or more solve() calls; see the file
+/// comment for the determinism contract.
 struct RunContext {
   /// nullptr = serial (the library-wide `const Executor*` convention).
   const Executor* executor = nullptr;

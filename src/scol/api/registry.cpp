@@ -73,4 +73,20 @@ std::vector<std::string> AlgorithmRegistry::names() const {
   return out;
 }
 
+std::string algorithm_skip_reason(const AlgorithmInfo& info,
+                                  const EligibilityQuery& query) {
+  if (!info.precondition) return "";
+  SCOL_REQUIRE(query.probe != nullptr && query.params != nullptr,
+               + "eligibility query needs a probe and params");
+  return info.precondition(query);
+}
+
+Vertex effective_k(const AlgorithmInfo& info, Vertex k, Vertex max_degree,
+                   const ParamBag& params) {
+  if (k > 0 || !info.caps.needs_lists) return k;
+  Vertex out = std::max<Vertex>(3, max_degree + 1);
+  if (info.min_k) out = std::max(out, info.min_k(params));
+  return out;
+}
+
 }  // namespace scol

@@ -19,12 +19,14 @@
 
 namespace scol {
 
+/// The problem statement handed to scol::solve(); see the file comment
+/// for the meaning of `k` and the borrowing rules.
 struct ColoringRequest {
-  const Graph* graph = nullptr;
-  const ListAssignment* lists = nullptr;  // optional (per-algorithm caps)
-  Vertex k = -1;                          // optional palette-ish parameter
-  std::string algorithm;
-  ParamBag params;
+  const Graph* graph = nullptr;           ///< borrowed, required
+  const ListAssignment* lists = nullptr;  ///< optional (per-algorithm caps)
+  Vertex k = -1;                          ///< optional palette-ish parameter
+  std::string algorithm;                  ///< AlgorithmRegistry name
+  ParamBag params;                        ///< per-algorithm knobs
 
   bool has_lists() const { return lists != nullptr; }
 };

@@ -7,6 +7,7 @@
 #include "scol/gen/planar_random.h"
 #include "scol/gen/random.h"
 #include "scol/gen/special.h"
+#include "scol/io/io.h"
 
 namespace scol {
 namespace {
@@ -131,6 +132,55 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
          [](const ParamBag&, Rng&) { return mcgee(); }});
   r.add({"grotzsch", "Grötzsch graph (triangle-free, chi = 4)", {},
          [](const ParamBag&, Rng&) { return grotzsch(); }});
+
+  // --- Real-world files (io/). ---
+  r.add({"file", "file-backed graph; path=... (required), format=auto "
+                 "(auto|dimacs|metis|mtx|edges); see docs/FORMATS.md",
+         {"path", "format"},
+         [](const ParamBag& p, Rng&) {
+           const std::string path = p.get_str("path", "");
+           SCOL_REQUIRE(!path.empty(),
+                        + "scenario 'file' needs a path=... param");
+           return read_graph_file(path,
+                                  parse_format(p.get_str("format", "auto")))
+               .graph;
+         }});
+}
+
+// Levenshtein distance, for did-you-mean hints on unknown names/keys.
+// Inputs are short (scenario names and param keys), so the quadratic DP
+// is plenty.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+// " (did you mean 'X'?)" when some known name is within edit distance 2
+// of `got` (ties broken toward the first candidate in declaration
+// order — registry names are sorted, key lists are as declared), else "".
+std::string did_you_mean(const std::string& got,
+                         const std::vector<std::string>& known) {
+  std::string best;
+  std::size_t best_distance = 3;  // only suggest within distance 2
+  for (const auto& candidate : known) {
+    const std::size_t d = edit_distance(got, candidate);
+    if (d < best_distance) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  return best.empty() ? "" : " (did you mean '" + best + "'?)";
 }
 
 [[noreturn]] void spec_error(const std::string& spec, std::size_t offset,
@@ -170,8 +220,9 @@ const ScenarioInfo& ScenarioRegistry::at(const std::string& name) const {
   if (s == nullptr) {
     std::string known;
     for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
-    throw PreconditionError("unknown scenario '" + name + "'; known: " +
-                            known);
+    throw PreconditionError("unknown scenario '" + name + "'" +
+                            did_you_mean(name, names()) +
+                            "; known: " + known);
   }
   return *s;
 }
@@ -228,6 +279,7 @@ std::pair<std::string, ParamBag> validate_scenario_spec(
         parsed.first + "' at offset " +
         std::to_string(offset == std::string::npos ? spec.find(key)
                                                    : offset) +
+        did_you_mean(key, info.keys) +
         (info.keys.empty() ? " (takes no params)" : "; known keys: " + known));
   }
   return parsed;

@@ -3,12 +3,16 @@
 //
 // A scenario spec is "name" or "name:key=val,key=val", e.g.
 //   "grid:rows=20,cols=20"   "regular:n=512,d=4"   "petersen"
+//   "file:path=examples/graphs/grotzsch.col"
 // Values lex as int / real / flag / string (see parse_param). Every
-// scenario has defaults, so the bare name always builds; randomized
+// scenario has defaults, so the bare name always builds — except "file",
+// which needs a path= (there is no default graph file); randomized
 // families draw from the Rng the caller passes (deterministic per seed).
 //
 // This is the CLI's --gen vocabulary and the fixture source for the
-// registry round-trip tests.
+// registry round-trip tests. "file" (backed by io/, see docs/FORMATS.md)
+// is how real DIMACS / METIS / Matrix Market / edge-list instances enter
+// solve(), the CLI, and campaign grids.
 #pragma once
 
 #include <functional>
@@ -23,7 +27,7 @@ namespace scol {
 
 struct ScenarioInfo {
   std::string name;
-  std::string summary;  // family + the params it reads with defaults
+  std::string summary;  ///< family + the params it reads with defaults
   /// Every param key this scenario reads. Specs naming any other key are
   /// rejected by parse_scenario_spec/build_scenario — a misspelled
   /// "rows=40" must not silently fall back to the default.

@@ -95,6 +95,40 @@ std::int64_t max_degree_plus_one(const ColoringRequest& req) {
   return req.graph == nullptr ? -1 : req.graph->max_degree() + 1;
 }
 
+// --- Structural preconditions (AlgorithmInfo::precondition). ---
+//
+// Each returns "" when the probed graph (plus the effective k and the
+// job's params) satisfies the algorithm's documented requirements, else
+// the reason it cannot run. These are what lets a campaign over an
+// arbitrary file auto-select eligible algorithms; solve() itself never
+// consults them, so explicit runs still fail loudly.
+
+std::string why_not_planar(const GraphProbe& probe) {
+  switch (probe.planar) {
+    case ProbeVerdict::kYes: return "";
+    case ProbeVerdict::kNo: return "not planar";
+    case ProbeVerdict::kUnknown:
+      return "planarity unknown (n exceeds the probe's planarity limit)";
+  }
+  return "";
+}
+
+std::string why_not_k(const EligibilityQuery& q, Vertex needed,
+                      const char* what) {
+  if (q.k >= needed) return "";
+  return std::string("needs ") + what + " >= " + std::to_string(needed) +
+         ", got " + std::to_string(q.k);
+}
+
+// Degeneracy <= d certifies that peeling at threshold d cannot stall
+// (and that arboricity <= d, mad <= 2d).
+std::string why_not_degenerate(const GraphProbe& probe, Vertex d,
+                               const char* what) {
+  if (probe.degeneracy <= d) return "";
+  return std::string("degeneracy ") + std::to_string(probe.degeneracy) +
+         " > " + what + " " + std::to_string(d);
+}
+
 }  // namespace
 
 void register_builtin_algorithms(AlgorithmRegistry& r) {
@@ -109,7 +143,15 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                                  sparse_options(req, ctx)),
                "");
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           const Vertex d = static_cast<Vertex>(
+               q.params->get_int("d", q.k));
+           if (d < 3)
+             return std::string("needs d >= 3 (param d, or k), got ") +
+                    std::to_string(d);
+           return why_not_degenerate(*q.probe, d, "d");
+         }});
   r.add({"nice",
          "Theorem 6.1: list-coloring for nice assignments (|L(v)| >= "
          "deg(v), +1 on small-degree/clique-neighborhood vertices)",
@@ -118,7 +160,11 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return nice_list_coloring(*req.graph, *req.lists,
                                      sparse_options(req, ctx));
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           // Uniform (max degree + 1)-lists are nice on every graph.
+           return why_not_k(q, q.probe->max_degree + 1, "k");
+         }});
   r.add({"planar6",
          "Corollary 2.3(1): 6-list-coloring of planar graphs",
          caps(true, false, false, true),
@@ -126,7 +172,12 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return planar_six_list_coloring(*req.graph, *req.lists,
                                            sparse_options(req, ctx));
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           const std::string planar = why_not_planar(*q.probe);
+           return planar.empty() ? why_not_k(q, 6, "k") : planar;
+         },
+         [](const ParamBag&) { return Vertex{6}; }});
   r.add({"planar4-trianglefree",
          "Corollary 2.3(2): 4-list-coloring of triangle-free planar graphs",
          caps(true, false, false, true),
@@ -134,7 +185,14 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return triangle_free_planar_four_list_coloring(
                *req.graph, *req.lists, sparse_options(req, ctx));
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           const std::string planar = why_not_planar(*q.probe);
+           if (!planar.empty()) return planar;
+           if (!q.probe->triangle_free) return std::string("has a triangle");
+           return why_not_k(q, 4, "k");
+         },
+         [](const ParamBag&) { return Vertex{4}; }});
   r.add({"planar3-girth6",
          "Corollary 2.3(3): 3-list-coloring of girth >= 6 planar graphs",
          caps(true, false, false, true),
@@ -142,7 +200,16 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return girth_six_planar_three_list_coloring(
                *req.graph, *req.lists, sparse_options(req, ctx));
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           const std::string planar = why_not_planar(*q.probe);
+           if (!planar.empty()) return planar;
+           if (q.probe->girth_floor < 6)
+             return "girth " + std::to_string(q.probe->girth_floor) +
+                    " < 6";
+           return why_not_k(q, 3, "k");
+         },
+         [](const ParamBag&) { return Vertex{3}; }});
   r.add({"arboricity",
          "Corollary 1.4: 2a-list-coloring; params: arboricity (or k = 2a)",
          caps(true, true, false, true),
@@ -152,7 +219,23 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return arboricity_list_coloring(*req.graph, a, *req.lists,
                                            sparse_options(req, ctx));
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           const Vertex a = static_cast<Vertex>(q.params->get_int(
+               "arboricity", q.k > 0 ? q.k / 2 : -1));
+           if (a < 2)
+             return std::string(
+                 "needs arboricity >= 2 (param arboricity, or k = 2a)");
+           if (q.probe->arboricity_upper > a)
+             return "certified arboricity bound " +
+                    std::to_string(q.probe->arboricity_upper) +
+                    " > promised arboricity " + std::to_string(a);
+           return why_not_k(q, 2 * a, "k");
+         },
+         [](const ParamBag& p) {
+           const std::int64_t a = p.get_int("arboricity", -1);
+           return a > 0 ? static_cast<Vertex>(2 * a) : Vertex{-1};
+         }});
   r.add({"genus",
          "Corollary 2.11: H(gamma)-list-coloring; params: genus",
          caps(true, false, false, true),
@@ -161,7 +244,21 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                                       required_int(req, "genus"), *req.lists,
                                       sparse_options(req, ctx));
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           const std::int64_t genus = q.params->get_int("genus", -1);
+           if (genus < 1)
+             return std::string("needs param genus=... (>= 1); the probe "
+                                "cannot certify a genus promise");
+           return why_not_k(
+               q, heawood_list_bound(static_cast<Vertex>(genus)), "k");
+         },
+         [](const ParamBag& p) {
+           const std::int64_t genus = p.get_int("genus", -1);
+           return genus >= 1
+                      ? heawood_list_bound(static_cast<Vertex>(genus))
+                      : Vertex{-1};
+         }});
   r.add({"genus-sharp",
          "Corollary 2.11 (sharp): (H(gamma)-1)-list-coloring or a K_H "
          "certificate; params: genus (with 24*genus+1 a perfect square)",
@@ -172,7 +269,26 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                                             *req.lists,
                                             sparse_options(req, ctx));
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           const std::int64_t genus = q.params->get_int("genus", -1);
+           if (genus < 1)
+             return std::string("needs param genus=... (>= 1); the probe "
+                                "cannot certify a genus promise");
+           if (!heawood_bound_is_tight(static_cast<Vertex>(genus)))
+             return "genus " + std::to_string(genus) +
+                    " is not sharp (24*genus+1 must be a perfect square)";
+           return why_not_k(
+               q, heawood_list_bound(static_cast<Vertex>(genus)) - 1, "k");
+         },
+         [](const ParamBag& p) {
+           const std::int64_t genus = p.get_int("genus", -1);
+           if (genus < 1 ||
+               !heawood_bound_is_tight(static_cast<Vertex>(genus)))
+             return Vertex{-1};
+           return static_cast<Vertex>(
+               heawood_list_bound(static_cast<Vertex>(genus)) - 1);
+         }});
   r.add({"delta-list",
          "Corollary 2.1: Delta-list-coloring or a no-SDR K_{Delta+1} "
          "certificate (max degree >= 3)",
@@ -181,7 +297,13 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return delta_list_coloring(*req.graph, *req.lists,
                                       sparse_options(req, ctx));
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           if (q.probe->max_degree < 3)
+             return "max degree " + std::to_string(q.probe->max_degree) +
+                    " < 3";
+           return why_not_k(q, q.probe->max_degree, "k");
+         }});
   r.add({"ert",
          "Constructive Theorem 1.1 (Borodin; ERT): degree-choosable "
          "coloring of a connected non-Gallai (or surplus) graph",
@@ -192,7 +314,13 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return ColoringReport::colored(
                degree_choosable_coloring(*req.graph, avail, ctx.executor));
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           if (!q.probe->connected) return std::string("not connected");
+           // k >= max degree + 1 gives every vertex surplus, which is
+           // case 1 of the construction regardless of Gallai structure.
+           return why_not_k(q, q.probe->max_degree + 1, "k");
+         }});
 
   // --- Baselines. ---
   r.add({"randomized",
@@ -209,7 +337,11 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return randomized_list_coloring(*req.graph, *req.lists, rng,
                                            nullptr, ctx.executor, max_rounds);
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           // (deg + 1)-lists: uniform k-lists qualify iff k > max degree.
+           return why_not_k(q, q.probe->max_degree + 1, "k");
+         }});
   r.add({"linial",
          "Linial color reduction to a (dmax+1)-coloring (k = palette, "
          "default max degree + 1)",
@@ -243,6 +375,11 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            return req.params.get_int("threshold",
                                      req.k > 0 ? req.k - 1 : 6) +
                   1;
+         },
+         [](const EligibilityQuery& q) {
+           const Vertex threshold = static_cast<Vertex>(q.params->get_int(
+               "threshold", q.k > 0 ? q.k - 1 : 6));
+           return why_not_degenerate(*q.probe, threshold, "peel threshold");
          }});
   r.add({"barenboim-elkin",
          "Barenboim-Elkin H-partition coloring: floor((2+eps)a)+1 colors; "
@@ -261,6 +398,17 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
            if (a <= 0) return std::int64_t{-1};
            return static_cast<std::int64_t>(barenboim_elkin_palette(
                static_cast<Vertex>(a), req.params.get_real("eps", 1.0)));
+         },
+         [](const EligibilityQuery& q) {
+           const std::int64_t a = q.params->get_int("arboricity", -1);
+           if (a <= 0) return std::string("needs param arboricity=...");
+           // The H-partition peels at degree (2 + eps) * a; degeneracy
+           // at or below that threshold certifies termination.
+           const Vertex threshold = static_cast<Vertex>(
+               (2.0 + q.params->get_real("eps", 1.0)) *
+               static_cast<double>(a));
+           return why_not_degenerate(*q.probe, threshold,
+                                     "H-partition threshold");
          }});
   r.add({"greedy",
          "Sequential greedy in vertex-id order",
@@ -299,7 +447,10 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
                degeneracy_list_coloring(*req.graph, *req.lists),
                "degeneracy greedy found a vertex with no free list color");
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           return why_not_k(q, q.probe->degeneracy + 1, "k");
+         }});
 
   // --- Exact solvers and special substrates. ---
   r.add({"exact",
@@ -314,6 +465,11 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
          },
          [](const ColoringRequest& req) {
            return static_cast<std::int64_t>(req.k);
+         },
+         [](const EligibilityQuery& q) {
+           return q.k > 0 ? std::string()
+                          : std::string("needs request.k (the palette to "
+                                        "search)");
          }});
   r.add({"exact-list",
          "Exact list-coloring by MRV backtracking (params: node_budget)",
@@ -339,7 +495,11 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
              return ColoringReport::infeasible(all, "no-sdr-clique");
            return ColoringReport::colored(std::move(*c));
          },
-         {}});
+         {},
+         [](const EligibilityQuery& q) {
+           return q.probe->complete ? std::string()
+                                    : std::string("not a complete graph");
+         }});
 }
 
 ColoringReport solve(const ColoringRequest& request, RunContext& ctx) {

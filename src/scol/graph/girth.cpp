@@ -4,9 +4,15 @@
 
 namespace scol {
 
-Vertex girth(const Graph& g) {
+Vertex girth(const Graph& g, Vertex limit) {
   const Vertex n = g.num_vertices();
   Vertex best = -1;
+  // Truncation: a cycle of length L <= limit is found from any of its
+  // own vertices within depth ceil(limit/2), and a non-tree edge at
+  // depth d closes a closed walk of length <= 2d + 1 through the root,
+  // which always contains a cycle no longer than the walk — so the
+  // minimum over all roots of the reports <= limit stays exact.
+  const Vertex depth = limit < 0 ? -1 : (limit + 1) / 2;
   std::vector<Vertex> dist(static_cast<std::size_t>(n));
   std::vector<Vertex> parent(static_cast<std::size_t>(n));
   for (Vertex s = 0; s < n; ++s) {
@@ -21,6 +27,7 @@ Vertex girth(const Graph& g) {
       const Vertex u = queue.front();
       queue.pop_front();
       if (best >= 0 && 2 * dist[u] >= best) break;  // cannot improve
+      if (depth >= 0 && dist[u] >= depth) continue;  // truncated scan
       for (Vertex w : g.neighbors(u)) {
         if (dist[w] < 0) {
           dist[w] = dist[u] + 1;
@@ -28,6 +35,7 @@ Vertex girth(const Graph& g) {
           queue.push_back(w);
         } else if (w != parent[u]) {
           const Vertex len = dist[u] + dist[w] + 1;
+          if (limit >= 0 && len > limit) continue;
           if (best < 0 || len < best) best = len;
         }
       }

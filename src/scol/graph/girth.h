@@ -6,8 +6,12 @@
 
 namespace scol {
 
-/// Exact girth via BFS from every vertex; O(n·m). -1 if acyclic.
-Vertex girth(const Graph& g);
+/// Girth via BFS from every vertex. With `limit` < 0 (default): the
+/// exact girth, O(n·m), -1 if acyclic. With `limit` >= 3: the exact
+/// girth when it is <= limit, else -1 (certifying girth > limit) — the
+/// BFS is truncated at depth ceil(limit/2), so the scan is
+/// O(n · Δ^(limit/2)); the structure probe (io/probe.h) uses this form.
+Vertex girth(const Graph& g, Vertex limit = -1);
 
 /// True iff no triangle exists (girth > 3 or acyclic).
 bool triangle_free(const Graph& g);

@@ -28,16 +28,20 @@ class Graph {
   /// endpoints.
   static Graph from_edges(Vertex n, const std::vector<Edge>& edges);
 
+  /// Number of vertices n; vertex ids are 0..n-1.
   Vertex num_vertices() const { return n_; }
+  /// Number of undirected edges |E|.
   std::int64_t num_edges() const {
     return static_cast<std::int64_t>(adj_.size()) / 2;
   }
 
+  /// Degree of v (O(1) from the CSR offsets).
   Vertex degree(Vertex v) const {
     SCOL_DCHECK(valid(v));
     return static_cast<Vertex>(offsets_[v + 1] - offsets_[v]);
   }
 
+  /// Maximum degree Delta (0 for the empty graph); O(n).
   Vertex max_degree() const;
 
   /// Average degree 2|E|/|V| (0 for the empty graph), as in the paper §1.2.
@@ -47,17 +51,20 @@ class Graph {
                          static_cast<double>(n_);
   }
 
+  /// Sorted adjacency list of v as a zero-copy view into the CSR array.
   std::span<const Vertex> neighbors(Vertex v) const {
     SCOL_DCHECK(valid(v));
     return {adj_.data() + offsets_[v],
             static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
   }
 
+  /// True iff {u, v} is an edge; O(log deg) binary search.
   bool has_edge(Vertex u, Vertex v) const;
 
   /// All edges with u < v, in CSR order.
   std::vector<Edge> edges() const;
 
+  /// True iff v is a vertex id of this graph (0 <= v < n).
   bool valid(Vertex v) const { return v >= 0 && v < n_; }
 
  private:
@@ -79,6 +86,8 @@ class GraphBuilder {
     edges_.emplace_back(std::min(u, v), std::max(u, v));
   }
 
+  /// True iff {u, v} was added before (linear scan; builder-side checks
+  /// in generators only, never on hot paths).
   bool has_recorded_edge(Vertex u, Vertex v) const {
     Edge e{std::min(u, v), std::max(u, v)};
     for (const auto& f : edges_)
@@ -86,6 +95,7 @@ class GraphBuilder {
     return false;
   }
 
+  /// Number of vertices the built graph will have.
   Vertex num_vertices() const { return n_; }
 
   /// Builds the graph, deduplicating edges.

@@ -1,0 +1,737 @@
+#include "scol/io/io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "scol/util/check.h"
+
+namespace scol {
+namespace {
+
+// --- Position-carrying errors. -------------------------------------------
+//
+// Every reader failure goes through fail_at so the message always looks
+// like "name:line:col: what" — the contract docs/FORMATS.md catalogs and
+// tests/test_io.cpp asserts. Lines and columns are 1-based; column 1 with
+// line 0 means "before the first line" (an empty file).
+
+[[noreturn]] void fail_at(const std::string& name, std::size_t line,
+                          std::size_t col, const std::string& what) {
+  throw PreconditionError(name + ":" + std::to_string(line) + ":" +
+                          std::to_string(col) + ": " + what);
+}
+
+// One whitespace-separated token and where it started (1-based column).
+struct Token {
+  std::string text;
+  std::size_t col = 0;
+};
+
+std::vector<Token> tokenize(const std::string& line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    out.push_back({line.substr(start, i - start), start + 1});
+  }
+  return out;
+}
+
+// Line-buffered single-pass reader: getline + CRLF stripping + the
+// position state every error message needs.
+struct LineReader {
+  std::istream& in;
+  const std::string& name;
+  std::string line = {};
+  std::size_t lineno = 0;
+
+  bool next() {
+    if (!std::getline(in, line)) return false;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+    ++lineno;
+    return true;
+  }
+
+  [[noreturn]] void fail(std::size_t col, const std::string& what) const {
+    fail_at(name, lineno, col, what);
+  }
+  [[noreturn]] void fail_eof(const std::string& what) const {
+    fail_at(name, lineno + 1, 1, what);
+  }
+};
+
+std::int64_t parse_int64(const LineReader& r, const Token& tok,
+                         const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.text.c_str(), &end, 10);
+  if (end != tok.text.c_str() + tok.text.size() || tok.text.empty() ||
+      errno == ERANGE)
+    r.fail(tok.col, std::string("expected an integer ") + what + ", got '" +
+                        tok.text + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+// Weights are validated (a stray word is a malformed file) but never
+// used, so any numeric token -- "3", "0.5", "1e-3" -- is acceptable.
+void parse_numeric(const LineReader& r, const Token& tok,
+                   const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtod(tok.text.c_str(), &end);
+  if (end != tok.text.c_str() + tok.text.size() || tok.text.empty())
+    r.fail(tok.col, std::string("expected a numeric ") + what + ", got '" +
+                        tok.text + "'");
+}
+
+std::int64_t parse_count(const LineReader& r, const Token& tok,
+                         const char* what) {
+  const std::int64_t v = parse_int64(r, tok, what);
+  if (v < 0)
+    r.fail(tok.col, std::string(what) + " must be non-negative, got '" +
+                        tok.text + "'");
+  return v;
+}
+
+// Vertex ids are 32-bit; a declared vertex count past that cannot be
+// represented and must fail loudly, not wrap into a small wrong graph.
+std::int64_t parse_vertex_count(const LineReader& r, const Token& tok) {
+  const std::int64_t v = parse_count(r, tok, "vertex count");
+  if (v > std::numeric_limits<Vertex>::max())
+    r.fail(tok.col, "vertex count " + tok.text + " exceeds the supported "
+                    "maximum of " +
+                        std::to_string(std::numeric_limits<Vertex>::max()));
+  return v;
+}
+
+// --- Shared edge accumulation. -------------------------------------------
+//
+// Formats with a declared vertex count (DIMACS, METIS, Matrix Market)
+// collect raw ids first and resolve 0- vs 1-based indexing once the whole
+// file is seen: a file is 0-based iff it uses id 0, 1-based iff it uses
+// id n. Using both is unresolvable and is reported with the lines where
+// each extreme first appeared. Self-loops and duplicate edges are
+// dropped and counted, never errors — real benchmark files contain both.
+struct EdgeAccumulator {
+  std::int64_t n = 0;
+  std::vector<Edge> edges;          // raw, pre-index-resolution
+  std::int64_t self_loops = 0;
+  std::size_t first_zero_line = 0;  // line where id 0 first appeared
+  std::size_t first_n_line = 0;     // line where id n first appeared
+
+  // `lo` is the smallest id this format ever allows (0 for the
+  // auto-detecting formats, 1 for Matrix Market which is firmly 1-based).
+  void add(const LineReader& r, const Token& ut, const Token& vt,
+           std::int64_t lo) {
+    const std::int64_t u = parse_int64(r, ut, "vertex id");
+    const std::int64_t v = parse_int64(r, vt, "vertex id");
+    check_range(r, u, ut, lo);
+    check_range(r, v, vt, lo);
+    edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+
+  void check_range(const LineReader& r, std::int64_t id, const Token& tok,
+                   std::int64_t lo) {
+    if (id < lo || id > n)
+      r.fail(tok.col, "vertex id " + tok.text + " out of range [" +
+                          std::to_string(lo) + ", " + std::to_string(n) +
+                          "] for " + std::to_string(n) + " vertices");
+    if (id == 0 && first_zero_line == 0) first_zero_line = r.lineno;
+    if (id == n && first_n_line == 0) first_n_line = r.lineno;
+  }
+
+  // Decides indexing, shifts, dedups, builds. Fills stats.
+  Graph finish(const std::string& name, ReadStats& stats) {
+    bool zero_based = first_zero_line != 0;
+    if (zero_based && first_n_line != 0)
+      fail_at(name, first_n_line, 1,
+              "file mixes 0-based and 1-based vertex ids (id 0 first seen "
+              "on line " +
+                  std::to_string(first_zero_line) + ", id " +
+                  std::to_string(n) + " on line " +
+                  std::to_string(first_n_line) + ")");
+    stats.zero_indexed = zero_based;
+    const Vertex shift = zero_based ? 0 : 1;
+    std::vector<Edge> clean;
+    clean.reserve(edges.size());
+    for (auto [u, v] : edges) {
+      u = static_cast<Vertex>(u - shift);
+      v = static_cast<Vertex>(v - shift);
+      if (u == v) {
+        ++self_loops;
+        continue;
+      }
+      clean.emplace_back(std::min(u, v), std::max(u, v));
+    }
+    std::sort(clean.begin(), clean.end());
+    const auto last = std::unique(clean.begin(), clean.end());
+    stats.duplicate_edges =
+        static_cast<std::int64_t>(clean.end() - last);
+    clean.erase(last, clean.end());
+    stats.self_loops = self_loops;
+    return Graph::from_edges(static_cast<Vertex>(n), clean);
+  }
+};
+
+// --- DIMACS .col ----------------------------------------------------------
+
+ReadResult read_dimacs(LineReader& r) {
+  ReadResult out;
+  out.stats.format = GraphFormat::kDimacs;
+  EdgeAccumulator acc;
+  bool have_problem = false;
+  std::int64_t declared_m = 0;
+
+  while (r.next()) {
+    if (r.line.empty()) continue;
+    const std::vector<Token> toks = tokenize(r.line);
+    if (toks.empty()) continue;
+    const std::string& kind = toks[0].text;
+    if (kind == "c") {
+      ++out.stats.comment_lines;
+    } else if (kind == "p") {
+      if (have_problem)
+        r.fail(toks[0].col, "second 'p' problem line (first on an earlier "
+                            "line); a DIMACS file has exactly one");
+      if (toks.size() != 4)
+        r.fail(toks[0].col,
+               "problem line must be 'p edge <vertices> <edges>', got " +
+                   std::to_string(toks.size()) + " token(s)");
+      if (toks[1].text != "edge" && toks[1].text != "edges" &&
+          toks[1].text != "col")
+        r.fail(toks[1].col, "unknown problem type '" + toks[1].text +
+                                "' (expected 'edge')");
+      acc.n = parse_vertex_count(r, toks[2]);
+      declared_m = parse_count(r, toks[3], "edge count");
+      have_problem = true;
+    } else if (kind == "e") {
+      if (!have_problem)
+        r.fail(toks[0].col, "edge line before the 'p' problem line");
+      if (toks.size() != 3)
+        r.fail(toks[0].col, "edge line must be 'e <u> <v>', got " +
+                                std::to_string(toks.size()) + " token(s)");
+      acc.add(r, toks[1], toks[2], 0);
+    } else {
+      r.fail(toks[0].col, "unknown DIMACS line type '" + kind +
+                              "' (expected 'c', 'p', or 'e')");
+    }
+  }
+  if (!have_problem)
+    r.fail_eof("file ends without a 'p edge <vertices> <edges>' line");
+  out.stats.declared_n = acc.n;
+  out.stats.declared_m = declared_m;
+  out.stats.edge_records = static_cast<std::int64_t>(acc.edges.size());
+  if (out.stats.edge_records != declared_m)
+    r.fail_eof("problem line declared " + std::to_string(declared_m) +
+               " edges but the file contains " +
+               std::to_string(out.stats.edge_records) + " 'e' lines");
+  out.graph = acc.finish(r.name, out.stats);
+  return out;
+}
+
+// --- METIS / Chaco adjacency ---------------------------------------------
+
+ReadResult read_metis(LineReader& r) {
+  ReadResult out;
+  out.stats.format = GraphFormat::kMetis;
+  // Header: "<n> <m> [fmt [ncon]]" after any leading % comments.
+  std::vector<Token> header;
+  while (r.next()) {
+    if (!r.line.empty() && r.line[0] == '%') {
+      ++out.stats.comment_lines;
+      continue;
+    }
+    header = tokenize(r.line);
+    if (!header.empty()) break;
+  }
+  if (header.empty())
+    r.fail_eof("file ends before the '<vertices> <edges> [fmt]' header");
+  if (header.size() < 2 || header.size() > 4)
+    r.fail(header[0].col,
+           "header must be '<vertices> <edges> [fmt [ncon]]', got " +
+               std::to_string(header.size()) + " token(s)");
+  EdgeAccumulator acc;
+  acc.n = parse_vertex_count(r, header[0]);
+  const std::int64_t declared_m = parse_count(r, header[1], "edge count");
+  std::int64_t fmt = 0;
+  if (header.size() >= 3) fmt = parse_count(r, header[2], "fmt code");
+  if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11 && fmt != 100 &&
+      fmt != 101 && fmt != 110 && fmt != 111)
+    r.fail(header[2].col, "fmt code must be a 3-digit binary flag "
+                          "(000..111), got '" + header[2].text + "'");
+  const bool edge_weights = fmt % 10 != 0;
+  const bool vertex_weights = (fmt / 10) % 10 != 0;
+  const bool vertex_sizes = (fmt / 100) % 10 != 0;
+  std::int64_t ncon = vertex_weights ? 1 : 0;
+  if (header.size() == 4) {
+    ncon = parse_count(r, header[3], "ncon");
+    if (!vertex_weights && ncon != 0)
+      r.fail(header[3].col, "ncon given but fmt declares no vertex weights");
+  }
+
+  // One adjacency line per vertex (blank = isolated); % comments anywhere.
+  std::int64_t vertex = 0;
+  std::int64_t entries = 0;
+  while (vertex < acc.n) {
+    if (!r.next())
+      r.fail_eof("file ends after " + std::to_string(vertex) +
+                 " of the " + std::to_string(acc.n) +
+                 " declared adjacency lines");
+    if (!r.line.empty() && r.line[0] == '%') {
+      ++out.stats.comment_lines;
+      continue;
+    }
+    const std::vector<Token> toks = tokenize(r.line);
+    std::size_t i = 0;
+    if (vertex_sizes) ++i;                          // skip the size token
+    i += static_cast<std::size_t>(ncon);            // skip vertex weights
+    if (i > toks.size())
+      r.fail(1, "adjacency line has " + std::to_string(toks.size()) +
+                    " token(s) but fmt=" + std::to_string(fmt) +
+                    " requires " + std::to_string(i) +
+                    " leading weight token(s)");
+    const std::size_t step = edge_weights ? 2 : 1;
+    if (edge_weights && (toks.size() - i) % 2 != 0)
+      r.fail(toks.back().col, "fmt declares edge weights but a neighbor id "
+                              "has no weight token after it");
+    // Record this line's neighbors; the other endpoint is the line index,
+    // so indexing resolution must treat both the same way. METIS ids are
+    // canonically 1-based; we defer like DIMACS and shift the line index
+    // to match in finish() via a placeholder token.
+    for (; i < toks.size(); i += step) {
+      const std::int64_t w = parse_int64(r, toks[i], "neighbor id");
+      acc.check_range(r, w, toks[i], 0);
+      // Store (line vertex, neighbor) with the line vertex kept 0-based
+      // for now and marked by n+1 offset trick -- see below.
+      acc.edges.emplace_back(static_cast<Vertex>(vertex),
+                             static_cast<Vertex>(w));
+      ++entries;
+    }
+    ++vertex;
+  }
+  while (r.next()) {
+    if (!r.line.empty() && r.line[0] == '%') {
+      ++out.stats.comment_lines;
+      continue;
+    }
+    if (!tokenize(r.line).empty())
+      r.fail(1, "data after the last of the " + std::to_string(acc.n) +
+                    " declared adjacency lines");
+  }
+  if (entries != 2 * declared_m)
+    r.fail_eof("header declared " + std::to_string(declared_m) +
+               " edges (" + std::to_string(2 * declared_m) +
+               " adjacency entries; each edge appears twice) but the "
+               "lists contain " + std::to_string(entries) + " entries");
+  out.stats.declared_n = acc.n;
+  out.stats.declared_m = declared_m;
+  out.stats.edge_records = entries;
+
+  // Resolve indexing on the neighbor ids only (the first element of each
+  // stored pair is the 0-based line index): 1-based unless some neighbor
+  // is 0.
+  const bool zero_based = acc.first_zero_line != 0;
+  if (zero_based && acc.first_n_line != 0)
+    fail_at(r.name, acc.first_n_line, 1,
+            "file mixes 0-based and 1-based neighbor ids (id 0 first seen "
+            "on line " + std::to_string(acc.first_zero_line) + ", id " +
+                std::to_string(acc.n) + " on line " +
+                std::to_string(acc.first_n_line) + ")");
+  out.stats.zero_indexed = zero_based;
+  const Vertex shift = zero_based ? 0 : 1;
+  std::vector<Edge> directed;
+  directed.reserve(acc.edges.size());
+  std::int64_t self_loops = 0;
+  for (const auto& [u, w] : acc.edges) {
+    const Vertex v = static_cast<Vertex>(w - shift);
+    if (u == v) {
+      ++self_loops;
+      continue;
+    }
+    directed.emplace_back(u, v);
+  }
+  std::sort(directed.begin(), directed.end());
+  // An undirected edge must be listed once from EACH endpoint. Extra
+  // same-direction listings are duplicates; a missing mirror listing is
+  // an asymmetry — both tolerated, both counted (never silent).
+  std::vector<Edge> clean;
+  for (std::size_t i = 0; i < directed.size();) {
+    std::size_t j = i;
+    while (j < directed.size() && directed[j] == directed[i]) ++j;
+    out.stats.duplicate_edges += static_cast<std::int64_t>(j - i) - 1;
+    const auto [u, v] = directed[i];
+    const bool mirrored =
+        std::binary_search(directed.begin(), directed.end(), Edge{v, u});
+    if (u < v) {
+      clean.emplace_back(u, v);
+      if (!mirrored) ++out.stats.asymmetric_edges;
+    } else if (!mirrored) {
+      clean.emplace_back(v, u);
+      ++out.stats.asymmetric_edges;
+    }
+    i = j;
+  }
+  std::sort(clean.begin(), clean.end());
+  out.stats.self_loops = self_loops;
+  out.graph = Graph::from_edges(static_cast<Vertex>(acc.n), clean);
+  return out;
+}
+
+// --- Matrix Market coordinate --------------------------------------------
+
+ReadResult read_matrix_market(LineReader& r) {
+  ReadResult out;
+  out.stats.format = GraphFormat::kMatrixMarket;
+  if (!r.next()) r.fail_eof("empty file (expected a %%MatrixMarket header)");
+  std::vector<Token> head = tokenize(r.line);
+  if (head.empty() || head[0].text != "%%MatrixMarket")
+    r.fail(1, "first line must start with '%%MatrixMarket', got '" +
+                  (head.empty() ? std::string() : head[0].text) + "'");
+  if (head.size() != 5)
+    r.fail(head[0].col,
+           "header must be '%%MatrixMarket matrix coordinate <field> "
+           "<symmetry>', got " + std::to_string(head.size()) + " token(s)");
+  auto lower = [](std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    return s;
+  };
+  if (lower(head[1].text) != "matrix")
+    r.fail(head[1].col, "unsupported object '" + head[1].text +
+                            "' (only 'matrix')");
+  if (lower(head[2].text) != "coordinate")
+    r.fail(head[2].col, "unsupported format '" + head[2].text +
+                            "' (only sparse 'coordinate'; dense 'array' "
+                            "matrices are not graphs)");
+  const std::string field = lower(head[3].text);
+  std::size_t value_tokens = 0;
+  if (field == "pattern") value_tokens = 0;
+  else if (field == "real" || field == "integer" || field == "double")
+    value_tokens = 1;
+  else if (field == "complex") value_tokens = 2;
+  else
+    r.fail(head[3].col, "unknown field '" + head[3].text +
+                            "' (expected pattern, real, integer, or "
+                            "complex)");
+  const std::string symmetry = lower(head[4].text);
+  if (symmetry != "general" && symmetry != "symmetric" &&
+      symmetry != "skew-symmetric" && symmetry != "hermitian")
+    r.fail(head[4].col, "unknown symmetry '" + head[4].text +
+                            "' (expected general, symmetric, "
+                            "skew-symmetric, or hermitian)");
+
+  // Size line after % comments.
+  std::vector<Token> size;
+  while (r.next()) {
+    if (!r.line.empty() && r.line[0] == '%') {
+      ++out.stats.comment_lines;
+      continue;
+    }
+    size = tokenize(r.line);
+    if (!size.empty()) break;
+  }
+  if (size.empty())
+    r.fail_eof("file ends before the '<rows> <cols> <entries>' size line");
+  if (size.size() != 3)
+    r.fail(size[0].col, "size line must be '<rows> <cols> <entries>', got " +
+                            std::to_string(size.size()) + " token(s)");
+  const std::int64_t rows = parse_vertex_count(r, size[0]);
+  const std::int64_t cols = parse_count(r, size[1], "column count");
+  const std::int64_t nnz = parse_count(r, size[2], "entry count");
+  if (rows != cols)
+    r.fail(size[1].col, "adjacency matrix must be square, got " +
+                            std::to_string(rows) + "x" +
+                            std::to_string(cols));
+
+  EdgeAccumulator acc;
+  acc.n = rows;
+  std::int64_t entries = 0;
+  while (entries < nnz) {
+    if (!r.next())
+      r.fail_eof("size line declared " + std::to_string(nnz) +
+                 " entries but the file ends after " +
+                 std::to_string(entries));
+    if (!r.line.empty() && r.line[0] == '%') {
+      ++out.stats.comment_lines;
+      continue;
+    }
+    const std::vector<Token> toks = tokenize(r.line);
+    if (toks.empty()) continue;
+    if (toks.size() != 2 + value_tokens)
+      r.fail(toks[0].col, "entry must be '<row> <col>" +
+                              std::string(value_tokens > 0 ? " <value>" : "") +
+                              "' for field '" + field + "', got " +
+                              std::to_string(toks.size()) + " token(s)");
+    // Matrix Market is firmly 1-based; 0 is out of range, not a hint.
+    acc.add(r, toks[0], toks[1], 1);
+    ++entries;
+  }
+  while (r.next()) {
+    if (!r.line.empty() && r.line[0] == '%') {
+      ++out.stats.comment_lines;
+      continue;
+    }
+    if (!tokenize(r.line).empty())
+      r.fail(1, "size line declared " + std::to_string(nnz) +
+                    " entries but the file contains more");
+  }
+  out.stats.declared_n = rows;
+  out.stats.declared_m = nnz;
+  out.stats.edge_records = entries;
+  out.graph = acc.finish(r.name, out.stats);
+  return out;
+}
+
+// --- Whitespace edge list -------------------------------------------------
+
+ReadResult read_edge_list(LineReader& r) {
+  ReadResult out;
+  out.stats.format = GraphFormat::kEdgeList;
+  // Arbitrary non-negative 64-bit ids (SNAP-style dumps routinely use
+  // hashes); vertices are the distinct ids, remapped to 0..n-1 in sorted
+  // order. Isolated vertices are unrepresentable -- documented in
+  // docs/FORMATS.md.
+  std::vector<std::pair<std::int64_t, std::int64_t>> raw;
+  std::int64_t self_loops = 0;
+  while (r.next()) {
+    if (r.line.empty()) continue;
+    const char c0 = r.line[0];
+    if (c0 == '#' || c0 == '%') {
+      ++out.stats.comment_lines;
+      continue;
+    }
+    const std::vector<Token> toks = tokenize(r.line);
+    if (toks.empty()) continue;
+    if (toks.size() != 2 && toks.size() != 3)
+      r.fail(toks[0].col, "edge line must be '<u> <v>' (an optional third "
+                          "token is ignored as a weight), got " +
+                              std::to_string(toks.size()) + " token(s)");
+    const std::int64_t u = parse_int64(r, toks[0], "vertex id");
+    const std::int64_t v = parse_int64(r, toks[1], "vertex id");
+    if (u < 0 || v < 0)
+      r.fail(toks[u < 0 ? 0 : 1].col, "vertex ids must be non-negative, "
+                                      "got '" +
+                                          (u < 0 ? toks[0] : toks[1]).text +
+                                          "'");
+    if (toks.size() == 3)
+      parse_numeric(r, toks[2], "edge weight");  // validated, ignored
+    ++out.stats.edge_records;
+    if (u == v) {
+      ++self_loops;
+      continue;
+    }
+    raw.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  // Dense relabeling in sorted id order (deterministic, id-monotone).
+  std::vector<std::int64_t> ids;
+  ids.reserve(raw.size() * 2);
+  for (const auto& [u, v] : raw) {
+    ids.push_back(u);
+    ids.push_back(v);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (static_cast<std::int64_t>(ids.size()) >
+      std::numeric_limits<Vertex>::max())
+    r.fail_eof("file names " + std::to_string(ids.size()) +
+               " distinct vertices, more than the supported maximum of " +
+               std::to_string(std::numeric_limits<Vertex>::max()));
+  const auto dense = [&](std::int64_t id) {
+    return static_cast<Vertex>(
+        std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
+  };
+  std::vector<Edge> clean;
+  clean.reserve(raw.size());
+  for (const auto& [u, v] : raw) clean.emplace_back(dense(u), dense(v));
+  std::sort(clean.begin(), clean.end());
+  const auto last = std::unique(clean.begin(), clean.end());
+  out.stats.duplicate_edges = static_cast<std::int64_t>(clean.end() - last);
+  clean.erase(last, clean.end());
+  out.stats.self_loops = self_loops;
+  out.stats.zero_indexed = !ids.empty() && ids.front() == 0;
+  out.graph =
+      Graph::from_edges(static_cast<Vertex>(ids.size()), clean);
+  return out;
+}
+
+// --- Writers --------------------------------------------------------------
+
+void write_dimacs(std::ostream& out, const Graph& g) {
+  out << "p edge " << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (const auto& [u, v] : g.edges())
+    out << "e " << (u + 1) << " " << (v + 1) << "\n";
+}
+
+void write_metis(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    bool first = true;
+    for (const Vertex w : g.neighbors(v)) {
+      if (!first) out << " ";
+      out << (w + 1);
+      first = false;
+    }
+    out << "\n";
+  }
+}
+
+void write_matrix_market(std::ostream& out, const Graph& g) {
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << g.num_vertices() << " " << g.num_vertices() << " " << g.num_edges()
+      << "\n";
+  // Symmetric storage keeps entries on or below the diagonal: row >= col.
+  for (const auto& [u, v] : g.edges())
+    out << (v + 1) << " " << (u + 1) << "\n";
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    SCOL_REQUIRE(g.degree(v) > 0,
+                 + ("edge-list format cannot represent isolated vertex " +
+                    std::to_string(v)));
+  for (const auto& [u, v] : g.edges()) out << u << " " << v << "\n";
+}
+
+std::string extension_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return "";
+  std::string ext = path.substr(dot + 1);
+  for (char& c : ext)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return ext;
+}
+
+GraphFormat format_from_extension(const std::string& ext) {
+  if (ext == "col") return GraphFormat::kDimacs;
+  if (ext == "graph" || ext == "metis") return GraphFormat::kMetis;
+  if (ext == "mtx" || ext == "mm") return GraphFormat::kMatrixMarket;
+  if (ext == "edges" || ext == "el" || ext == "edgelist" || ext == "txt")
+    return GraphFormat::kEdgeList;
+  return GraphFormat::kAuto;  // unknown
+}
+
+}  // namespace
+
+GraphFormat parse_format(const std::string& name) {
+  if (name == "auto") return GraphFormat::kAuto;
+  if (name == "dimacs" || name == "col") return GraphFormat::kDimacs;
+  if (name == "metis" || name == "graph") return GraphFormat::kMetis;
+  if (name == "mtx" || name == "mm" || name == "matrixmarket")
+    return GraphFormat::kMatrixMarket;
+  if (name == "edges" || name == "edgelist" || name == "el")
+    return GraphFormat::kEdgeList;
+  throw PreconditionError(
+      "unknown graph format '" + name +
+      "'; known: auto, dimacs (col), metis (graph), mtx (mm), edges "
+      "(edgelist, el)");
+}
+
+std::string format_name(GraphFormat format) {
+  switch (format) {
+    case GraphFormat::kAuto: return "auto";
+    case GraphFormat::kDimacs: return "dimacs";
+    case GraphFormat::kMetis: return "metis";
+    case GraphFormat::kMatrixMarket: return "mtx";
+    case GraphFormat::kEdgeList: return "edges";
+  }
+  throw InternalError("unreachable GraphFormat");
+}
+
+ReadResult read_graph(std::istream& in, GraphFormat format,
+                      const std::string& name) {
+  SCOL_REQUIRE(format != GraphFormat::kAuto,
+               + "read_graph needs an explicit format (sniffing requires a "
+                 "path; use read_graph_file)");
+  LineReader r{in, name};
+  switch (format) {
+    case GraphFormat::kDimacs: return read_dimacs(r);
+    case GraphFormat::kMetis: return read_metis(r);
+    case GraphFormat::kMatrixMarket: return read_matrix_market(r);
+    case GraphFormat::kEdgeList: return read_edge_list(r);
+    case GraphFormat::kAuto: break;
+  }
+  throw InternalError("unreachable GraphFormat");
+}
+
+GraphFormat sniff_format(const std::string& path, const std::string& head) {
+  const GraphFormat by_ext = format_from_extension(extension_of(path));
+  if (by_ext != GraphFormat::kAuto) return by_ext;
+  if (head.rfind("%%MatrixMarket", 0) == 0) return GraphFormat::kMatrixMarket;
+  // A DIMACS file opens with comment lines and then the problem line.
+  std::istringstream in(head);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p' &&
+        (line.size() == 1 || line[1] == ' ' || line[1] == '\t'))
+      return GraphFormat::kDimacs;
+    break;
+  }
+  throw PreconditionError(
+      path + ": cannot sniff the graph format (unknown extension and the "
+      "content is not Matrix Market or DIMACS; METIS and edge lists are "
+      "content-ambiguous -- pass format= explicitly)");
+}
+
+ReadResult read_graph_file(const std::string& path, GraphFormat format) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw PreconditionError(path + ": cannot open file for reading");
+  if (format == GraphFormat::kAuto) {
+    char head[256];
+    in.read(head, sizeof(head));
+    const std::string head_str(head, static_cast<std::size_t>(in.gcount()));
+    format = sniff_format(path, head_str);
+    in.clear();
+    in.seekg(0);
+  }
+  return read_graph(in, format, path);
+}
+
+void write_graph(std::ostream& out, const Graph& g, GraphFormat format) {
+  switch (format) {
+    case GraphFormat::kDimacs: write_dimacs(out, g); return;
+    case GraphFormat::kMetis: write_metis(out, g); return;
+    case GraphFormat::kMatrixMarket: write_matrix_market(out, g); return;
+    case GraphFormat::kEdgeList: write_edge_list(out, g); return;
+    case GraphFormat::kAuto: break;
+  }
+  throw PreconditionError("write_graph needs an explicit format");
+}
+
+void write_graph_file(const std::string& path, const Graph& g,
+                      GraphFormat format) {
+  if (format == GraphFormat::kAuto) {
+    format = format_from_extension(extension_of(path));
+    SCOL_REQUIRE(format != GraphFormat::kAuto,
+                 + (path + ": cannot infer a write format from the "
+                    "extension; pass one explicitly"));
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw PreconditionError(path + ": cannot open file for writing");
+  write_graph(out, g, format);
+  out.flush();
+  if (!out) throw PreconditionError(path + ": write failed");
+}
+
+}  // namespace scol

@@ -1,0 +1,81 @@
+#include "scol/io/probe.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "scol/flow/density.h"
+#include "scol/graph/cliques.h"
+#include "scol/graph/components.h"
+#include "scol/graph/girth.h"
+#include "scol/planarity/planarity.h"
+
+namespace scol {
+
+const char* to_string(ProbeVerdict verdict) {
+  switch (verdict) {
+    case ProbeVerdict::kNo: return "no";
+    case ProbeVerdict::kYes: return "yes";
+    case ProbeVerdict::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+GraphProbe probe_graph(const Graph& g, const ProbeOptions& options) {
+  GraphProbe p;
+  p.n = g.num_vertices();
+  p.m = g.num_edges();
+  p.max_degree = g.max_degree();
+  p.degeneracy = degeneracy_order(g).degeneracy;
+
+  const Components comps = connected_components(g);
+  p.components = comps.count;
+  p.connected = comps.count <= 1;
+  p.forest = p.m == static_cast<std::int64_t>(p.n) -
+                        static_cast<std::int64_t>(p.components);
+  p.complete = 2 * p.m == static_cast<std::int64_t>(p.n) *
+                              static_cast<std::int64_t>(p.n - 1);
+
+  if (p.n <= options.exact_mad_limit) {
+    p.mad_upper = maximum_average_degree(g).value();
+    p.mad_exact = true;
+    p.arboricity_upper = arboricity_exact(g);
+    p.arboricity_exact = true;
+  } else {
+    p.mad_upper = 2.0 * static_cast<double>(p.degeneracy);
+    p.mad_exact = false;
+    p.arboricity_upper = p.degeneracy;
+    p.arboricity_exact = false;
+  }
+
+  // The scan limit is clamped to >= 3: a shallower scan could not tell
+  // "no triangle found" from "did not look", and triangle_free must be
+  // a certified fact.
+  const Vertex girth_limit = std::max<Vertex>(3, options.girth_limit);
+  p.girth = p.forest ? -1 : girth(g, girth_limit);
+  p.girth_floor = p.girth > 0 ? p.girth : girth_limit + 1;
+  p.triangle_free = p.girth != 3;
+
+  if (p.n <= options.planarity_limit)
+    p.planar = is_planar(g) ? ProbeVerdict::kYes : ProbeVerdict::kNo;
+  else
+    p.planar = ProbeVerdict::kUnknown;
+  return p;
+}
+
+std::string describe(const GraphProbe& p) {
+  std::ostringstream os;
+  os << "n=" << p.n << " m=" << p.m << " maxdeg=" << p.max_degree
+     << " degeneracy=" << p.degeneracy << " mad<=" << p.mad_upper
+     << (p.mad_exact ? " (exact)" : " (peel bound)")
+     << " arboricity<=" << p.arboricity_upper
+     << " components=" << p.components
+     << (p.forest ? " forest" : "")
+     << (p.complete ? " complete" : "")
+     << " girth>=" << p.girth_floor;
+  if (p.girth > 0) os << " (girth=" << p.girth << ")";
+  os << (p.triangle_free ? " triangle-free" : "")
+     << " planar=" << to_string(p.planar);
+  return os.str();
+}
+
+}  // namespace scol

@@ -1,0 +1,86 @@
+// Structure probe: the cheap structural facts that decide which
+// registered algorithms can run on an arbitrary (file-backed) graph.
+//
+// The paper's guarantees are stated for graph *classes* — planar,
+// bounded genus, bounded maximum average degree — but a file gives a
+// single instance with no class promise attached. probe_graph() measures
+// what can be certified in near-linear time (degeneracy and the mad
+// upper bound it implies, connectivity, a bounded girth scan, exact
+// planarity on small graphs) and AlgorithmInfo::precondition
+// (api/registry.h) consumes the result: campaign grids over files skip
+// algorithm/instance cells whose structural preconditions fail instead
+// of producing a wall of kFailed reports.
+//
+// Everything here is deterministic — probes feed the campaign's
+// bit-identical JSONL contract.
+#pragma once
+
+#include <string>
+
+#include "scol/graph/graph.h"
+
+namespace scol {
+
+/// Three-valued answer for properties the probe may decline to compute
+/// (exact planarity is O(n·m²) worst case and is skipped above
+/// ProbeOptions::planarity_limit).
+enum class ProbeVerdict { kNo = 0, kYes = 1, kUnknown = 2 };
+
+const char* to_string(ProbeVerdict verdict);
+
+/// Cost knobs for the two non-linear probe components.
+struct ProbeOptions {
+  /// Run the exact planarity test only when n <= this (kUnknown above).
+  Vertex planarity_limit = 1024;
+  /// Certify girth up to this length via truncated BFS (the scan is
+  /// O(n · Δ^(limit/2)); 8 covers every registered girth precondition).
+  /// Clamped to >= 3 so the triangle-free verdict is always certified.
+  Vertex girth_limit = 8;
+  /// Compute the exact mad and arboricity (flow-based, flow/density.h)
+  /// when n <= this; above it, fall back to the peeling bounds
+  /// mad <= 2 * degeneracy and arboricity <= degeneracy.
+  Vertex exact_mad_limit = 1024;
+};
+
+/// What probe_graph() certified about one graph. Every field is a fact,
+/// not a promise: `degeneracy <= d` certifies `arboricity <= d` and
+/// `mad <= 2d`; `girth_floor` is a proven lower bound, never a guess.
+struct GraphProbe {
+  Vertex n = 0;
+  std::int64_t m = 0;
+  Vertex max_degree = 0;
+  /// Exact degeneracy (bucket-queue peel, O(n + m)).
+  Vertex degeneracy = 0;
+  /// Certified upper bound on the maximum average degree: exact (flow)
+  /// up to ProbeOptions::exact_mad_limit, else 2 * degeneracy.
+  double mad_upper = 0.0;
+  bool mad_exact = false;  ///< mad_upper is the exact mad
+  /// Certified upper bound on the Nash–Williams arboricity: exact
+  /// (flow) up to ProbeOptions::exact_mad_limit, else the degeneracy
+  /// (every d-degenerate graph has arboricity <= d).
+  Vertex arboricity_upper = 0;
+  bool arboricity_exact = false;  ///< arboricity_upper is exact
+  Vertex components = 0;
+  bool connected = false;  ///< components <= 1 (empty graph counts)
+  bool forest = false;     ///< acyclic (m == n - components)
+  bool complete = false;   ///< m == n*(n-1)/2
+  /// Exact girth when it is <= ProbeOptions::girth_limit; -1 when no
+  /// cycle that short exists (including forests).
+  Vertex girth = -1;
+  /// Certified lower bound: girth >= girth_floor (girth_limit + 1 when
+  /// the scan found no cycle). Forests certify the same bound.
+  Vertex girth_floor = 1;
+  bool triangle_free = false;  ///< girth_floor >= 4 or no cycle found
+  /// Exact planarity verdict up to ProbeOptions::planarity_limit
+  /// vertices, kUnknown above it.
+  ProbeVerdict planar = ProbeVerdict::kUnknown;
+};
+
+/// Probes `g`. Deterministic; near-linear except for the explicitly
+/// bounded planarity / exact-mad components (see ProbeOptions).
+GraphProbe probe_graph(const Graph& g, const ProbeOptions& options = {});
+
+/// One-line human-readable summary ("n=.. m=.. degeneracy=.. ...").
+std::string describe(const GraphProbe& probe);
+
+}  // namespace scol

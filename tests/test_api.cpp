@@ -301,12 +301,55 @@ TEST(Scenarios, RegistryAndSpecs) {
   for (const auto& sname : ScenarioRegistry::instance().names())
     EXPECT_NO_THROW(validate_scenario_spec(sname));
 
-  // Every scenario builds with defaults and yields a non-trivial graph.
+  // Every scenario builds with defaults and yields a non-trivial graph —
+  // except "file", the documented exception: it has no default path
+  // (tests/test_io.cpp covers it against the bundled instances).
   for (const auto& sname : ScenarioRegistry::instance().names()) {
+    if (sname == "file") continue;
     SCOPED_TRACE(sname);
     Rng rng(17);
     const Graph g = build_scenario(sname, rng);
     EXPECT_GT(g.num_vertices(), 0);
+  }
+}
+
+TEST(Scenarios, UnknownNamesAndKeysGetDidYouMeanHints) {
+  Rng rng(1);
+  // A typo'd scenario name within edit distance 2 names the neighbor.
+  try {
+    build_scenario("gird:rows=4", rng);
+    FAIL() << "unknown scenario must throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown scenario 'gird'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("did you mean 'grid'?"), std::string::npos) << what;
+  }
+  // A typo'd key gets the same treatment on top of the whitelist error.
+  try {
+    validate_scenario_spec("grid:rowz=8");
+    FAIL() << "unknown key must throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean 'rows'?"), std::string::npos) << what;
+  }
+  try {
+    validate_scenario_spec("regular:b=4");
+    FAIL() << "unknown key must throw";
+  } catch (const PreconditionError& e) {
+    // 'b' is within distance 2 of both axes; the closest (distance-1
+    // tie) resolves to the first candidate in declaration order.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean 'n'?"), std::string::npos) << what;
+  }
+  // Nothing nearby: the hint is omitted rather than misleading.
+  try {
+    validate_scenario_spec("grid:threshold=8");
+    FAIL() << "unknown key must throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"),
+              std::string::npos)
+        << e.what();
   }
 }
 

@@ -200,6 +200,101 @@ TEST(Campaign, OracleFlagsLyingAlgorithms) {
   EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
 }
 
+// --- Probe filtering (spec.probe; io/probe.h) ---------------------------
+
+TEST(Campaign, ProbeFilterSkipsIneligibleCellsInsteadOfFailing) {
+  // K9 is not planar (and its peel genuinely stalls at threshold 6), so
+  // planar6's structural precondition fails; the probe filter answers
+  // the cell with a skipped line and greedy still runs. Same grid with
+  // the filter off: planar6 fails loudly at run time.
+  CampaignSpec spec;
+  spec.scenarios = {"complete:n=9"};
+  spec.algorithms = {"greedy", "planar6"};
+  spec.k = 6;
+  CampaignResult result;
+  const auto lines = run_lines(spec, CampaignOptions{}, &result);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(result.colored, 1u);
+  EXPECT_EQ(result.skipped, 1u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.oracle_violations, 0u);
+  EXPECT_NE(lines[1].find("\"status\":\"skipped\""), std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[1].find("\"skip_reason\":\"not planar\""),
+            std::string::npos)
+      << lines[1];
+  EXPECT_NE(result.summary.dump().find("\"skipped\":1"), std::string::npos)
+      << result.summary.dump();
+
+  spec.probe = false;
+  CampaignResult raw;
+  const auto raw_lines = run_lines(spec, CampaignOptions{}, &raw);
+  ASSERT_EQ(raw_lines.size(), 2u);
+  EXPECT_EQ(raw.skipped, 0u);
+  EXPECT_EQ(raw.failed, 1u);
+  EXPECT_NE(raw_lines[1].find("\"status\":\"failed\""), std::string::npos)
+      << raw_lines[1];
+}
+
+TEST(Campaign, AutoKRespectsAlgorithmMinimumListSize) {
+  // planar6's guarantee is stated for 6-lists; on a planar grid of max
+  // degree 4 the generic auto-k (max degree + 1 = 5) must rise to the
+  // algorithm's registered minimum (AlgorithmInfo::min_k), so the
+  // flagship planar corollary actually runs in `--algo all` grids
+  // instead of skipping itself on every low-degree planar instance.
+  CampaignSpec spec;
+  spec.scenarios = {"grid:rows=6,cols=6"};
+  spec.algorithms = {"planar6"};
+  CampaignResult result;
+  const auto lines = run_lines(spec, CampaignOptions{}, &result);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(result.colored, 1u);
+  EXPECT_EQ(result.skipped, 0u);
+  EXPECT_NE(lines[0].find("\"k\":6"), std::string::npos) << lines[0];
+}
+
+TEST(Campaign, ProbeFilterIsDeterministicAcrossJobExecutors) {
+  CampaignSpec spec;
+  spec.scenarios = {"petersen", "grid:rows=5,cols=5", "complete:n=5"};
+  spec.algorithms = {"greedy", "planar6", "sdr", "exact"};
+  spec.seeds = 2;
+  spec.k = 6;
+  const auto serial = run_lines(spec, CampaignOptions{});
+  ThreadPoolExecutor pool(4, /*grain=*/1);
+  CampaignOptions parallel;
+  parallel.executor = &pool;
+  EXPECT_EQ(serial, run_lines(spec, parallel));
+}
+
+TEST(Campaign, FileScenarioFlowsThroughTheGrid) {
+  // A real file enters the campaign like any generator scenario; with
+  // --algo all semantics the probe filter answers every cell (nothing
+  // fails) and the oracle stays clean.
+  const std::string path = std::string(SCOL_REPO_DIR) +
+                           "/examples/graphs/grotzsch.col";
+  CampaignSpec spec;
+  spec.scenarios = {"file:path=" + path};
+  spec.algorithms = AlgorithmRegistry::instance().names();
+  // This binary registers lying test algorithms; keep the sweep honest.
+  spec.algorithms.erase(
+      std::remove_if(spec.algorithms.begin(), spec.algorithms.end(),
+                     [](const std::string& name) {
+                       return name.rfind("test-", 0) == 0;
+                     }),
+      spec.algorithms.end());
+  spec.seeds = 2;
+  CampaignResult result;
+  const auto lines = run_lines(spec, CampaignOptions{}, &result);
+  EXPECT_EQ(lines.size(), 2 * spec.algorithms.size());
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.oracle_violations, 0u);
+  EXPECT_GT(result.colored, 0u);
+  EXPECT_GT(result.skipped, 0u);  // planar6, sdr, exact, genus, ...
+  // The graph really is the file's: n=11, m=20 on every line.
+  EXPECT_NE(lines[0].find("\"n\":11"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"m\":20"), std::string::npos) << lines[0];
+}
+
 // Property-style sweep: every registered algorithm gets a small campaign
 // on scenarios satisfying its preconditions, and the oracle must report
 // zero guarantee violations. A registered algorithm without a fixture
@@ -276,6 +371,9 @@ TEST(Campaign, SweepEveryAlgorithmZeroOracleViolations) {
     const auto lines = run_lines(spec, CampaignOptions{}, &result);
     EXPECT_EQ(lines.size(), result.jobs);
     EXPECT_EQ(result.oracle_violations, 0u);
+    // Fixtures must really exercise their algorithm: the probe filter
+    // (on by default) may not skip a single cell here.
+    EXPECT_EQ(result.skipped, 0u) << result.summary.dump(2);
     if (fix.expect_no_failed) {
       EXPECT_EQ(result.failed, 0u) << result.summary.dump(2);
     }

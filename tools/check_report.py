@@ -73,6 +73,14 @@ def check(report: dict, schema: dict, campaign_line: bool = False
             errors.append("colored report with no colors used")
     if status == "failed" and not report.get("failure_reason"):
         errors.append("failed report without failure_reason")
+    # "skipped" only exists on campaign lines (the probe filter); a
+    # skipped line must say why, and a single-run report can never skip.
+    if status == "skipped":
+        if not campaign_line:
+            errors.append("skipped status outside a campaign JSONL line")
+        elif not isinstance(report.get("skip_reason"), str) \
+                or not report["skip_reason"]:
+            errors.append("skipped line without a skip_reason")
     return errors
 
 
@@ -118,11 +126,17 @@ def check_jsonl(stream, schema: dict, args) -> list[str]:
                     and r["oracle"].get("ok") is not True)
         if dirty:
             errors.append(f"{dirty} line(s) with oracle violations")
+    if args.expect_no_failed:
+        failed = sum(1 for r in reports if r.get("status") == "failed")
+        if failed:
+            errors.append(f"{failed} line(s) with status 'failed' "
+                          f"(--expect-no-failed)")
     if not errors:
         colored = sum(1 for r in reports if r.get("status") == "colored")
         failed = sum(1 for r in reports if r.get("status") == "failed")
+        skipped = sum(1 for r in reports if r.get("status") == "skipped")
         print(f"check_report: ok ({len(reports)} jsonl lines, "
-              f"{colored} colored, {failed} failed)")
+              f"{colored} colored, {failed} failed, {skipped} skipped)")
     return errors
 
 
@@ -140,6 +154,9 @@ def main() -> int:
     parser.add_argument("--expect-colored", type=int, default=None,
                         help="require at least this many colored lines "
                              "(an all-failed campaign must not pass)")
+    parser.add_argument("--expect-no-failed", action="store_true",
+                        help="fail if any JSONL line has status 'failed' "
+                             "(probe-filtered grids answer every cell)")
     parser.add_argument("--schema",
                         default=pathlib.Path(__file__).parent /
                         "report_schema.json")
