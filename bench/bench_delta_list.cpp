@@ -14,7 +14,6 @@ namespace {
 
 ListAssignment tight_nice_lists(const Graph& g, Color palette, Rng& rng) {
   ListAssignment out;
-  out.lists.resize(static_cast<std::size_t>(g.num_vertices()));
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
     const auto nb = g.neighbors(v);
     bool clique_nbhd = true;
@@ -31,7 +30,7 @@ ListAssignment tight_nice_lists(const Graph& g, Color palette, Rng& rng) {
     rng.shuffle(all);
     std::vector<Color> list(all.begin(), all.begin() + size);
     std::sort(list.begin(), list.end());
-    out.lists[static_cast<std::size_t>(v)] = std::move(list);
+    out.append(list);
   }
   return out;
 }
@@ -89,8 +88,10 @@ int main() {
     t2.row("K5 + grid, Delta=4", "identical 4-lists",
            same.status == SolveStatus::kInfeasible ? "UNSAT (K5 certificate)"
                                                    : "colored (?)");
-    ListAssignment mixed = uniform_lists(g.num_vertices(), 4);
-    mixed.lists[2] = {1, 2, 3, 9};
+    std::vector<std::vector<Color>> mixed_lists =
+        to_lists(uniform_lists(g.num_vertices(), 4));
+    mixed_lists[2] = {1, 2, 3, 9};
+    const ListAssignment mixed = ListAssignment::from_lists(mixed_lists);
     const ColoringReport ok = delta_list_coloring(g, mixed);
     t2.row("K5 + grid, Delta=4", "one list differs",
            ok.coloring.has_value() ? "colored via SDR matching" : "UNSAT (?)");

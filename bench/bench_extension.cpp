@@ -28,10 +28,8 @@ int main() {
     }
     // Color G - A with the exact solver's greedy (any proper coloring of
     // the complement works as Lemma 3.2's input).
-    LevelMasks level;
-    level.alive.assign(static_cast<std::size_t>(n), 1);
-    level.rich = h.rich;
-    level.happy = h.happy;
+    const std::vector<char> all_alive(static_cast<std::size_t>(n), 1);
+    const LevelMasks level{all_alive, h.rich, h.happy};
     Coloring colors = empty_coloring(n);
     const ListAssignment lists = uniform_lists(n, static_cast<Color>(d));
     // Greedy list-color the non-happy part (it is (d-1)-degenerate enough
@@ -43,7 +41,7 @@ int main() {
       const InducedSubgraph rest = induce(g, keep);
       ListAssignment rest_lists;
       for (Vertex x = 0; x < rest.graph.num_vertices(); ++x)
-        rest_lists.lists.push_back(
+        rest_lists.append(
             lists.of(rest.to_original[static_cast<std::size_t>(x)]));
       const auto c = degeneracy_list_coloring(rest.graph, rest_lists);
       if (!c.has_value()) {

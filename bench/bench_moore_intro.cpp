@@ -60,8 +60,8 @@ int main() {
   Table t3({"graph", "chi", "2-list-colorable?", "3-list-colorable?"});
   {
     const Graph g = complete_bipartite(2, 4);
-    ListAssignment bad;
-    bad.lists = {{0, 1}, {2, 3}, {0, 2}, {0, 3}, {1, 2}, {1, 3}};
+    const ListAssignment bad = ListAssignment::from_lists(
+        {{0, 1}, {2, 3}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
     const bool two = find_list_coloring(g, bad).has_value();
     bool three = true;
     // Sample several random 3-list-assignments; all must work (ch = 3).

@@ -282,6 +282,10 @@ CampaignResult run_campaign(const CampaignSpec& spec,
 
   const Executor& exec = resolve_executor(options.executor);
   exec.parallel_ranges(local.size(), [&](std::size_t begin, std::size_t end) {
+    // One arena per worker chunk, handed to every job's RunContext below:
+    // solve() resets (never frees) it, so all jobs of this range reuse the
+    // same warmed-up chunks. Arenas are worker-local, hence race-free.
+    auto worker_arena = std::make_shared<Arena>();
     for (std::size_t li = begin; li < end; ++li) {
       const std::size_t instance = local[li];
       const std::string& scenario_spec =
@@ -418,6 +422,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         RunContext ctx;  // intra-job execution stays serial
         ctx.seed = seed;
         ctx.round_budget = spec.round_budget;
+        ctx.arena = worker_arena;
         const auto start = std::chrono::steady_clock::now();
         try {
           run.report = solve(req, ctx);

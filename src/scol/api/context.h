@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "scol/local/ledger.h"
+#include "scol/util/arena.h"
 #include "scol/util/executor.h"
 #include "scol/util/rng.h"
 
@@ -61,6 +63,20 @@ struct RunContext {
   /// When true, solve() independently validates each coloring against the
   /// graph (and lists, if any) before reporting kColored.
   bool validate = false;
+
+  /// Scratch arena for per-run mutable state (level masks, shrunken
+  /// palettes, BFS buffers). Created lazily by arena_ref(); shared_ptr so
+  /// copied contexts keep sharing one arena. solve() resets it at the
+  /// start of every run and reports its allocation counters in the
+  /// metrics bag — a context reused across campaign jobs therefore reuses
+  /// the same warmed-up chunks (zero steady-state allocation).
+  std::shared_ptr<Arena> arena;
+
+  /// The context's arena, created on first use.
+  Arena& arena_ref() {
+    if (!arena) arena = std::make_shared<Arena>();
+    return *arena;
+  }
 
   Rng make_rng() const { return Rng(seed); }
 };

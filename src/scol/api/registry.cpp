@@ -10,17 +10,20 @@ namespace {
 // them (equal to k for uniform k-lists).
 std::int64_t distinct_list_colors(const ColoringRequest& req) {
   if (req.lists == nullptr) return -1;
-  const auto& lists = req.lists->lists;
-  if (lists.empty()) return 0;
+  const ListAssignment& lists = *req.lists;
+  if (lists.size() == 0) return 0;
   // Fast path for the dominant shape, uniform lists: every list equals
   // the first, so the distinct count is its size (lists are canonical —
   // sorted and duplicate-free).
-  if (std::all_of(lists.begin(), lists.end(),
-                  [&](const std::vector<Color>& l) { return l == lists[0]; }))
-    return static_cast<std::int64_t>(lists[0].size());
-  std::vector<Color> all;
-  for (const auto& list : lists)
-    all.insert(all.end(), list.begin(), list.end());
+  const auto first = lists.of(0);
+  bool all_equal = true;
+  for (Vertex v = 1; v < lists.size() && all_equal; ++v) {
+    const auto l = lists.of(v);
+    all_equal = std::equal(l.begin(), l.end(), first.begin(), first.end());
+  }
+  if (all_equal) return static_cast<std::int64_t>(first.size());
+  const auto flat = lists.flat();
+  std::vector<Color> all(flat.begin(), flat.end());
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
   return static_cast<std::int64_t>(all.size());

@@ -30,6 +30,7 @@ SparseOptions sparse_options(const ColoringRequest& req, RunContext& ctx) {
   opts.max_peels =
       static_cast<Vertex>(req.params.get_int("max_peels", opts.max_peels));
   opts.executor = ctx.executor;
+  opts.arena = &ctx.arena_ref();
   return opts;
 }
 
@@ -309,8 +310,7 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
          "coloring of a connected non-Gallai (or surplus) graph",
          caps(true, false, false, false),
          [](const ColoringRequest& req, RunContext& ctx) {
-           AvailableLists avail(req.lists->lists.begin(),
-                                req.lists->lists.end());
+           AvailableLists avail = to_lists(*req.lists);
            return ColoringReport::colored(
                degree_choosable_coloring(*req.graph, avail, ctx.executor));
          },
@@ -520,6 +520,13 @@ ColoringReport solve(const ColoringRequest& request, RunContext& ctx) {
     ctx.telemetry(ev);
   }
 
+  // Per-run scratch lives in the context's arena: reset (not freed) at
+  // the start of every run, so a reused context recycles its chunks and
+  // the deltas below are this run's exact allocation profile.
+  Arena& arena = ctx.arena_ref();
+  arena.reset();
+  const ArenaStats before = arena.stats();
+
   const auto start = std::chrono::steady_clock::now();
   ColoringReport report;
   try {
@@ -530,6 +537,14 @@ ColoringReport solve(const ColoringRequest& request, RunContext& ctx) {
     report = ColoringReport::failed(e.what());
   }
   report.algorithm = info.name;
+  // Only the scheduling-independent counters go in the metrics bag: the
+  // campaign JSONL stream must stay bit-identical across --jobs and
+  // shards, and chunk growth depends on which worker's arena a job lands
+  // on (first job cold, later jobs warm).
+  const ArenaStats after = arena.stats();
+  report.metrics.set_int("arena_allocs", after.alloc_calls - before.alloc_calls);
+  report.metrics.set_int("arena_bytes",
+                         after.bytes_requested - before.bytes_requested);
   report.sync_derived_fields();
   report.wall_ms =
       std::chrono::duration<double, std::milli>(

@@ -127,9 +127,9 @@ ColoringReport delta_list_coloring(const Graph& g, const ListAssignment& lists,
   const InducedSubgraph rest = induce(g, keep);
   if (rest.graph.num_vertices() > 0) {
     ListAssignment rest_lists;
-    rest_lists.lists.reserve(static_cast<std::size_t>(rest.graph.num_vertices()));
+    rest_lists.reserve(rest.graph.num_vertices(), lists.flat().size());
     for (Vertex x = 0; x < rest.graph.num_vertices(); ++x)
-      rest_lists.lists.push_back(
+      rest_lists.append(
           lists.of(rest.to_original[static_cast<std::size_t>(x)]));
     SparseResult r = list_color_sparse(rest.graph, delta, rest_lists, opts);
     SCOL_CHECK(!r.clique.has_value(),

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
-#include <set>
 
+#include "scol/coloring/small_color_set.h"
 #include "scol/graph/bfs.h"
 #include "scol/graph/blocks.h"
 #include "scol/graph/components.h"
@@ -30,16 +30,17 @@ void greedy_by_decreasing_key(const Graph& g, const std::vector<Vertex>& dist,
       return dist[static_cast<std::size_t>(x)] > dist[static_cast<std::size_t>(y)];
     return x < y;
   });
+  SmallColorSet forbidden;
   for (Vertex v : order) {
     SCOL_DCHECK(colors[static_cast<std::size_t>(v)] == kUncolored);
-    std::set<Color> forbidden;
+    forbidden.clear();
     for (Vertex w : g.neighbors(v)) {
       const Color cw = colors[static_cast<std::size_t>(w)];
       if (cw != kUncolored) forbidden.insert(cw);
     }
     Color pick = kUncolored;
     for (Color c : avail[static_cast<std::size_t>(v)]) {
-      if (!forbidden.count(c)) {
+      if (!forbidden.contains(c)) {
         pick = c;
         break;
       }
@@ -66,13 +67,13 @@ void shrink_avail(const Graph& g, Vertex x, AvailableLists& avail,
                   const Coloring& colors) {
   auto& list = avail[static_cast<std::size_t>(x)];
   std::vector<Color> keep;
-  std::set<Color> used;
+  SmallColorSet used;
   for (Vertex w : g.neighbors(x)) {
     const Color cw = colors[static_cast<std::size_t>(w)];
     if (cw != kUncolored) used.insert(cw);
   }
   for (Color c : list)
-    if (!used.count(c)) keep.push_back(c);
+    if (!used.contains(c)) keep.push_back(c);
   list = std::move(keep);
 }
 

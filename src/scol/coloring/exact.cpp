@@ -82,8 +82,8 @@ std::optional<Coloring> find_list_coloring(const Graph& g,
   SCOL_REQUIRE(lists.canonical(), + "lists must be sorted unique");
   // Dense palette remap for forward-checking counters.
   std::map<Color, Color> palette;
-  for (const auto& l : lists.lists)
-    for (Color x : l) palette.try_emplace(x, static_cast<Color>(palette.size()));
+  for (Color x : lists.flat())
+    palette.try_emplace(x, static_cast<Color>(palette.size()));
 
   struct Solver {
     const Graph& g;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <deque>
 
 #include "scol/graph/bfs.h"
 #include "scol/graph/components.h"
@@ -17,7 +16,8 @@ void mark_within(const Graph& gr, const std::vector<Vertex>& sources,
                  Vertex limit, std::vector<char>& happy) {
   if (sources.empty() || limit < 0) return;
   std::vector<Vertex> dist(static_cast<std::size_t>(gr.num_vertices()), -1);
-  std::deque<Vertex> queue;
+  std::vector<Vertex> queue;  // flat FIFO (head index), no deque chunking
+  queue.reserve(sources.size());
   for (Vertex s : sources) {
     if (dist[static_cast<std::size_t>(s)] != 0) {
       dist[static_cast<std::size_t>(s)] = 0;
@@ -25,9 +25,8 @@ void mark_within(const Graph& gr, const std::vector<Vertex>& sources,
       queue.push_back(s);
     }
   }
-  while (!queue.empty()) {
-    const Vertex x = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex x = queue[head];
     if (dist[static_cast<std::size_t>(x)] == limit) continue;
     for (Vertex y : gr.neighbors(x)) {
       if (dist[static_cast<std::size_t>(y)] < 0) {

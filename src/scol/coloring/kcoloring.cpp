@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "scol/coloring/small_color_set.h"
 #include "scol/util/executor.h"
 #include "scol/util/prime.h"
 
@@ -35,21 +36,6 @@ LinialParams linial_params(std::int64_t k, Vertex d) {
   return best;
 }
 
-// Evaluate the polynomial whose coefficients are the base-q digits of
-// `color` at point x, over F_q.
-std::int64_t poly_eval(std::int64_t color, std::int64_t q, int t,
-                       std::int64_t x) {
-  std::int64_t val = 0;
-  std::int64_t xp = 1;
-  for (int i = 0; i <= t; ++i) {
-    const std::int64_t digit = color % q;
-    color /= q;
-    val = (val + digit * xp) % q;
-    xp = (xp * x) % q;
-  }
-  return val;
-}
-
 }  // namespace
 
 std::int64_t linial_next_palette(std::int64_t k, Vertex d) {
@@ -76,18 +62,45 @@ DegreeColoringResult distributed_degree_coloring(const Graph& g, Vertex dmax,
     const LinialParams p = linial_params(k, d);
     if (p.palette() >= k) break;  // no further improvement possible
     // One synchronous round: every node reads only its neighbors' previous
-    // colors, so the vertex map runs under the executor.
+    // colors, so the vertex map runs under the executor. Two flat tables
+    // hoist the modular arithmetic out of the search loop: per-vertex
+    // base-q digits of the current color, and x^i mod q for every
+    // evaluation point. One polynomial evaluation then costs t+1 multiply-
+    // adds and a single % q (all partial sums fit: (t+1) * q^2 < 2^63).
+    const std::size_t width = static_cast<std::size_t>(p.t) + 1;
+    std::vector<std::int64_t> digits(static_cast<std::size_t>(n) * width);
+    parallel_for_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
+      std::int64_t c = out.coloring[i];
+      for (std::size_t j = 0; j < width; ++j) {
+        digits[i * width + j] = c % p.q;
+        c /= p.q;
+      }
+    });
+    std::vector<std::int64_t> pow_table(static_cast<std::size_t>(p.q) * width);
+    for (std::int64_t x = 0; x < p.q; ++x) {
+      std::int64_t xp = 1;
+      for (std::size_t j = 0; j < width; ++j) {
+        pow_table[static_cast<std::size_t>(x) * width + j] = xp;
+        xp = (xp * x) % p.q;
+      }
+    }
+    const auto eval = [&](std::size_t vertex, std::int64_t x) {
+      const std::int64_t* dg = digits.data() + vertex * width;
+      const std::int64_t* pw =
+          pow_table.data() + static_cast<std::size_t>(x) * width;
+      std::int64_t val = 0;
+      for (std::size_t j = 0; j < width; ++j) val += dg[j] * pw[j];
+      return val % p.q;
+    };
     std::vector<Color> next(static_cast<std::size_t>(n));
     parallel_for_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
       const Vertex v = static_cast<Vertex>(i);
-      const std::int64_t cv = out.coloring[i];
       std::int64_t chosen_x = -1;
       for (std::int64_t x = 0; x < p.q && chosen_x < 0; ++x) {
         bool ok = true;
-        const std::int64_t mine = poly_eval(cv, p.q, p.t, x);
+        const std::int64_t mine = eval(i, x);
         for (Vertex w : g.neighbors(v)) {
-          const std::int64_t cw = out.coloring[static_cast<std::size_t>(w)];
-          if (poly_eval(cw, p.q, p.t, x) == mine) {
+          if (eval(static_cast<std::size_t>(w), x) == mine) {
             ok = false;
             break;
           }
@@ -95,8 +108,7 @@ DegreeColoringResult distributed_degree_coloring(const Graph& g, Vertex dmax,
         if (ok) chosen_x = x;
       }
       SCOL_CHECK(chosen_x >= 0, + "cover-free family must provide a point");
-      next[i] = static_cast<Color>(chosen_x * p.q +
-                                   poly_eval(cv, p.q, p.t, chosen_x));
+      next[i] = static_cast<Color>(chosen_x * p.q + eval(i, chosen_x));
     });
     out.coloring = std::move(next);
     k = p.palette();
@@ -110,17 +122,30 @@ DegreeColoringResult distributed_degree_coloring(const Graph& g, Vertex dmax,
   // The class {v : color(v) == c} is an independent set (the coloring is
   // proper throughout), so its members' neighbors keep their colors for the
   // whole round — the in-place update is race-free and order-independent.
+  // Classes are bucketed up front (recolored vertices land below target and
+  // are never revisited), so each round touches only its own members
+  // instead of scanning all n.
+  std::vector<std::vector<Vertex>> classes;
+  if (k > target) {
+    classes.resize(static_cast<std::size_t>(k - target));
+    for (Vertex v = 0; v < n; ++v) {
+      const Color cv = out.coloring[static_cast<std::size_t>(v)];
+      if (cv >= target)
+        classes[static_cast<std::size_t>(cv - target)].push_back(v);
+    }
+  }
   for (std::int64_t c = k - 1; c >= target; --c) {
-    parallel_for_index(exec, static_cast<std::size_t>(n), [&](std::size_t i) {
-      if (out.coloring[i] != c) return;
-      std::vector<char> used(static_cast<std::size_t>(target), 0);
+    const auto& members = classes[static_cast<std::size_t>(c - target)];
+    parallel_for_index(exec, members.size(), [&](std::size_t mi) {
+      const std::size_t i = static_cast<std::size_t>(members[mi]);
+      // At most deg <= dmax neighbor colors block the pick; a flat scan
+      // avoids the per-member heap allocation of a dense used[] mask.
+      SmallColorSet used;
       for (Vertex w : g.neighbors(static_cast<Vertex>(i))) {
         const Color cw = out.coloring[static_cast<std::size_t>(w)];
-        if (cw >= 0 && cw < target) used[static_cast<std::size_t>(cw)] = 1;
+        if (cw >= 0 && cw < target) used.insert(cw);
       }
-      Color pick = 0;
-      while (used[static_cast<std::size_t>(pick)]) ++pick;
-      out.coloring[i] = pick;
+      out.coloring[i] = used.smallest_free();
     });
     ++out.rounds;
   }

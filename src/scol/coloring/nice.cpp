@@ -38,7 +38,13 @@ ColoringReport nice_list_coloring(const Graph& g, const ListAssignment& lists,
   out.metrics.set_int("radius", radius);
   const Vertex delta = g.max_degree();
 
+  Arena local_arena;
+  Arena& arena = opts.arena != nullptr ? *opts.arena : local_arena;
+
   // --- Peel. Every vertex is rich; witnesses are surplus vertices. ---
+  // Levels are arena-carved snapshots (the live `alive` vector keeps
+  // mutating, so each level needs its own copy that survives until the
+  // extension walk).
   std::vector<LevelMasks> levels;
   std::vector<char> alive(static_cast<std::size_t>(n), 1);
   Vertex alive_count = n;
@@ -61,17 +67,18 @@ ColoringReport nice_list_coloring(const Graph& g, const ListAssignment& lists,
       throw PreconditionError(
           "nice_list_coloring: peel stalled — assignment cannot be nice");
     }
-    LevelMasks level;
-    level.alive = alive;
-    level.rich = alive;  // everyone rich
-    level.happy.assign(static_cast<std::size_t>(n), 0);
+    std::span<char> lvl_alive = arena.alloc<char>(static_cast<std::size_t>(n));
+    std::copy(alive.begin(), alive.end(), lvl_alive.begin());
+    std::span<char> lvl_happy =
+        arena.alloc_zero<char>(static_cast<std::size_t>(n));
     for (Vertex x = 0; x < ni; ++x)
       if (ha.happy[static_cast<std::size_t>(x)])
-        level.happy[static_cast<std::size_t>(
+        lvl_happy[static_cast<std::size_t>(
             gi.to_original[static_cast<std::size_t>(x)])] = 1;
-    levels.push_back(std::move(level));
+    // Everyone alive is rich under a nice assignment.
+    levels.push_back(LevelMasks{lvl_alive, lvl_alive, lvl_happy});
     for (Vertex v = 0; v < n; ++v) {
-      if (levels.back().happy[static_cast<std::size_t>(v)]) {
+      if (lvl_happy[static_cast<std::size_t>(v)]) {
         alive[static_cast<std::size_t>(v)] = 0;
         --alive_count;
       }
@@ -83,7 +90,7 @@ ColoringReport nice_list_coloring(const Graph& g, const ListAssignment& lists,
   Coloring colors = empty_coloring(n);
   for (auto it = levels.rbegin(); it != levels.rend(); ++it)
     extend_level_lemma32(g, *it, lists, std::max<Vertex>(delta, 1), radius,
-                         colors, out.ledger, opts.executor);
+                         colors, out.ledger, opts.executor, &arena);
   out.coloring = std::move(colors);
   out.sync_derived_fields();
   return out;

@@ -1,7 +1,5 @@
 #include "scol/coloring/ruling.h"
 
-#include <deque>
-
 #include "scol/graph/bfs.h"
 #include "scol/util/executor.h"
 
@@ -41,14 +39,14 @@ RulingForest ruling_forest(const Graph& g, const std::vector<char>& in_u,
     // Truncated multi-source BFS from the zero-bit candidates: any one-bit
     // candidate within distance < alpha drops out.
     std::vector<Vertex> dist(static_cast<std::size_t>(n), -1);
-    std::deque<Vertex> queue;
+    std::vector<Vertex> queue;
+    queue.reserve(zeros.size());
     for (Vertex z : zeros) {
       dist[static_cast<std::size_t>(z)] = 0;
       queue.push_back(z);
     }
-    while (!queue.empty()) {
-      const Vertex x = queue.front();
-      queue.pop_front();
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex x = queue[head];
       if (dist[static_cast<std::size_t>(x)] == alpha - 1) continue;
       for (Vertex y : g.neighbors(x)) {
         if (dist[static_cast<std::size_t>(y)] < 0) {
@@ -68,7 +66,7 @@ RulingForest ruling_forest(const Graph& g, const std::vector<char>& in_u,
   out.root.assign(static_cast<std::size_t>(n), -1);
   out.parent.assign(static_cast<std::size_t>(n), -1);
   out.depth.assign(static_cast<std::size_t>(n), -1);
-  std::deque<Vertex> queue;
+  std::vector<Vertex> queue;
   for (Vertex v = 0; v < n; ++v) {
     if (alive[static_cast<std::size_t>(v)]) {
       out.roots.push_back(v);
@@ -77,9 +75,8 @@ RulingForest ruling_forest(const Graph& g, const std::vector<char>& in_u,
       queue.push_back(v);
     }
   }
-  while (!queue.empty()) {
-    const Vertex x = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex x = queue[head];
     if (out.depth[static_cast<std::size_t>(x)] == out.depth_bound) continue;
     for (Vertex y : g.neighbors(x)) {
       if (out.root[static_cast<std::size_t>(y)] < 0) {

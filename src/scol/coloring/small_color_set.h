@@ -1,0 +1,39 @@
+// Small forbidden-color set for the per-vertex hot loops.
+//
+// The sweep, root-ball, ERT-greedy, and palette-reduction paths all
+// collect at most deg(v) neighbor colors before picking a free one; at
+// that size an unsorted flat buffer with linear membership beats a
+// node-based std::set by an order of magnitude (no allocation per
+// insert, one cache line for typical degrees). clear() keeps capacity,
+// so one instance serves a whole sequential scan.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "scol/coloring/types.h"
+
+namespace scol {
+
+class SmallColorSet {
+ public:
+  void clear() { colors_.clear(); }
+  void insert(Color c) {
+    if (!contains(c)) colors_.push_back(c);
+  }
+  bool contains(Color c) const {
+    return std::find(colors_.begin(), colors_.end(), c) != colors_.end();
+  }
+  /// Smallest color >= 0 not in the set (the greedy pick over a dense
+  /// palette).
+  Color smallest_free() const {
+    Color pick = 0;
+    while (contains(pick)) ++pick;
+    return pick;
+  }
+
+ private:
+  std::vector<Color> colors_;
+};
+
+}  // namespace scol

@@ -1,11 +1,11 @@
 #include "scol/coloring/sparse.h"
 
 #include <algorithm>
-#include <set>
 
 #include "scol/coloring/ert.h"
 #include "scol/coloring/kcoloring.h"
 #include "scol/coloring/ruling.h"
+#include "scol/coloring/small_color_set.h"
 #include "scol/graph/bfs.h"
 #include "scol/graph/cliques.h"
 
@@ -18,10 +18,12 @@ namespace scol {
 void extend_level_lemma32(const Graph& g, const LevelMasks& level,
                           const ListAssignment& lists, Vertex aux_dmax,
                           Vertex rho, Coloring& colors, RoundLedger& ledger,
-                          const Executor* executor) {
+                          const Executor* executor, Arena* arena) {
   const Vertex n = g.num_vertices();
   const Vertex d = aux_dmax;
   const Executor& exec = resolve_executor(executor);
+  Arena local_arena;
+  Arena& ar = arena != nullptr ? *arena : local_arena;
 
   // Entry invariant: alive non-happy vertices are colored; A_i uncolored.
   for (Vertex v = 0; v < n; ++v) {
@@ -32,7 +34,7 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
   }
 
   // --- G_i[R] and the ruling forest with respect to A_i. ---
-  std::vector<char> rich_alive(static_cast<std::size_t>(n), 0);
+  std::span<char> rich_alive = ar.alloc<char>(static_cast<std::size_t>(n));
   for (Vertex v = 0; v < n; ++v)
     rich_alive[static_cast<std::size_t>(v)] =
         level.alive[static_cast<std::size_t>(v)] &&
@@ -54,20 +56,41 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
   std::vector<Vertex> t_members;  // gr ids
   for (Vertex x = 0; x < nr; ++x)
     if (rf.in_forest(x)) t_members.push_back(x);
-  std::vector<char> in_t(static_cast<std::size_t>(nr), 0);
+  std::span<char> in_t = ar.alloc_zero<char>(static_cast<std::size_t>(nr));
   for (Vertex x : t_members) in_t[static_cast<std::size_t>(x)] = 1;
   for (Vertex x : t_members)
     colors[static_cast<std::size_t>(
         gr.to_original[static_cast<std::size_t>(x)])] = kUncolored;
 
   // --- L_H: lists minus colors of colored G_i-neighbors outside T. ---
-  // Each forest vertex shrinks only its own list, so the sweep runs under
+  // Flat arena layout: slot x gets capacity |L(v)| (a shrink never grows a
+  // list), so the per-vertex writes are disjoint and the sweep runs under
   // the executor (bit-identical across executors).
-  std::vector<std::vector<Color>> lh(static_cast<std::size_t>(nr));
+  std::span<std::int64_t> lh_off =
+      ar.alloc<std::int64_t>(static_cast<std::size_t>(nr) + 1);
+  lh_off[0] = 0;
+  {
+    std::vector<std::int64_t> cap(static_cast<std::size_t>(nr), 0);
+    for (Vertex x : t_members)
+      cap[static_cast<std::size_t>(x)] = static_cast<std::int64_t>(
+          lists.of(gr.to_original[static_cast<std::size_t>(x)]).size());
+    for (Vertex x = 0; x < nr; ++x)
+      lh_off[static_cast<std::size_t>(x) + 1] =
+          lh_off[static_cast<std::size_t>(x)] + cap[static_cast<std::size_t>(x)];
+  }
+  std::span<Color> lh_colors = ar.alloc<Color>(
+      static_cast<std::size_t>(lh_off[static_cast<std::size_t>(nr)]));
+  std::span<std::int32_t> lh_len =
+      ar.alloc_zero<std::int32_t>(static_cast<std::size_t>(nr));
+  const auto lh = [&](Vertex x) {
+    return std::span<const Color>(
+        lh_colors.data() + lh_off[static_cast<std::size_t>(x)],
+        static_cast<std::size_t>(lh_len[static_cast<std::size_t>(x)]));
+  };
   parallel_for_index(exec, t_members.size(), [&](std::size_t ti) {
     const Vertex x = t_members[ti];
     const Vertex v = gr.to_original[static_cast<std::size_t>(x)];
-    std::set<Color> forbidden;
+    SmallColorSet forbidden;
     Vertex deg_gi = 0, deg_h = 0;
     for (Vertex w : g.neighbors(v)) {
       if (!level.alive[static_cast<std::size_t>(w)]) continue;
@@ -81,15 +104,17 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
       SCOL_DCHECK(cw != kUncolored, + "outside-T alive neighbors are colored");
       forbidden.insert(cw);
     }
+    Color* out = lh_colors.data() + lh_off[static_cast<std::size_t>(x)];
+    std::int32_t len = 0;
     for (Color c : lists.of(v))
-      if (!forbidden.count(c)) lh[static_cast<std::size_t>(x)].push_back(c);
+      if (!forbidden.contains(c)) out[len++] = c;
+    lh_len[static_cast<std::size_t>(x)] = len;
     // Observation 5.1: |L_H(v)| >= |L(v)| - deg_{G_i}(v) + deg_H(v), and the
     // sweep needs the weaker |L_H(v)| >= deg_H(v).
-    SCOL_CHECK(static_cast<Vertex>(lh[static_cast<std::size_t>(x)].size()) >=
+    SCOL_CHECK(static_cast<Vertex>(len) >=
                    static_cast<Vertex>(lists.of(v).size()) - deg_gi + deg_h,
                + "Observation 5.1 violated");
-    SCOL_CHECK(static_cast<Vertex>(lh[static_cast<std::size_t>(x)].size()) >=
-                   deg_h,
+    SCOL_CHECK(static_cast<Vertex>(len) >= deg_h,
                + "sweep capacity |L_H| >= deg_H violated");
   });
 
@@ -112,12 +137,13 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
              [static_cast<std::size_t>(aux.coloring[static_cast<std::size_t>(hx)])]
                  .push_back(x);
   }
+  SmallColorSet forbidden;
   for (Vertex dep = rf.max_depth; dep >= 1; --dep) {
     for (Color cls = 0; cls <= static_cast<Color>(d); ++cls) {
       for (Vertex x :
            buckets[static_cast<std::size_t>(dep)][static_cast<std::size_t>(cls)]) {
         const Vertex v = gr.to_original[static_cast<std::size_t>(x)];
-        std::set<Color> forbidden;
+        forbidden.clear();
         bool parent_uncolored = false;
         for (Vertex y : gr.graph.neighbors(x)) {
           if (!in_t[static_cast<std::size_t>(y)]) continue;
@@ -132,8 +158,8 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
         }
         SCOL_CHECK(parent_uncolored, + "sweep: parent must still be uncolored");
         Color pick = kUncolored;
-        for (Color c : lh[static_cast<std::size_t>(x)]) {
-          if (!forbidden.count(c)) {
+        for (Color c : lh(x)) {
+          if (!forbidden.contains(c)) {
             pick = c;
             break;
           }
@@ -180,16 +206,18 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
     for (Vertex bx = 0; bx < bg.graph.num_vertices(); ++bx) {
       const Vertex x = bg.to_original[static_cast<std::size_t>(bx)];  // gr id
       const Vertex v = gr.to_original[static_cast<std::size_t>(x)];
-      std::set<Color> forbidden;
+      forbidden.clear();
       for (Vertex w : g.neighbors(v)) {
         if (!level.alive[static_cast<std::size_t>(w)]) continue;
         const Color cw = colors[static_cast<std::size_t>(w)];
         if (cw != kUncolored) forbidden.insert(cw);
       }
-      for (Color c : lists.of(v))
-        if (!forbidden.count(c)) avail[static_cast<std::size_t>(bx)].push_back(c);
-      SCOL_CHECK(static_cast<Vertex>(avail[static_cast<std::size_t>(bx)].size()) >=
-                     bg.graph.degree(bx),
+      auto& out = avail[static_cast<std::size_t>(bx)];
+      const auto lv = lists.of(v);
+      out.reserve(lv.size());
+      for (Color c : lv)
+        if (!forbidden.contains(c)) out.push_back(c);
+      SCOL_CHECK(static_cast<Vertex>(out.size()) >= bg.graph.degree(bx),
                  + "ball lists must cover ball degrees (Obs. 5.1)");
     }
     const Coloring bc = degree_choosable_coloring(bg.graph, avail, executor);
@@ -220,6 +248,9 @@ SparseResult list_color_sparse(const Graph& g, Vertex d,
     SCOL_REQUIRE(static_cast<Vertex>(lists.of(v).size()) >= d,
                  + "need a d-list-assignment");
 
+  Arena local_arena;
+  Arena& arena = opts.arena != nullptr ? *opts.arena : local_arena;
+
   SparseResult out;
   if (n == 0) {
     out.coloring = Coloring{};
@@ -236,6 +267,9 @@ SparseResult list_color_sparse(const Graph& g, Vertex d,
   }
 
   // --- Peel A_1, ..., A_k. ---
+  // Level masks are carved from the arena (they must survive until the
+  // extension walk below; the arena is monotonic, so earlier levels stay
+  // valid as later ones are allocated).
   std::vector<LevelMasks> levels;
   std::vector<char> alive(static_cast<std::size_t>(n), 1);
   Vertex alive_count = n;
@@ -263,20 +297,21 @@ SparseResult list_color_sparse(const Graph& g, Vertex d,
           "promise d >= max(3, mad(G)) must be violated");
     }
 
-    LevelMasks level;
-    level.alive = alive;
-    level.rich.assign(static_cast<std::size_t>(n), 0);
-    level.happy.assign(static_cast<std::size_t>(n), 0);
+    std::span<char> lvl_alive = arena.alloc<char>(static_cast<std::size_t>(n));
+    std::copy(alive.begin(), alive.end(), lvl_alive.begin());
+    std::span<char> lvl_rich = arena.alloc_zero<char>(static_cast<std::size_t>(n));
+    std::span<char> lvl_happy =
+        arena.alloc_zero<char>(static_cast<std::size_t>(n));
     for (Vertex x = 0; x < gi.graph.num_vertices(); ++x) {
       const Vertex v = gi.to_original[static_cast<std::size_t>(x)];
-      level.rich[static_cast<std::size_t>(v)] =
+      lvl_rich[static_cast<std::size_t>(v)] =
           ha.rich[static_cast<std::size_t>(x)];
-      level.happy[static_cast<std::size_t>(v)] =
+      lvl_happy[static_cast<std::size_t>(v)] =
           ha.happy[static_cast<std::size_t>(x)];
     }
-    levels.push_back(std::move(level));
+    levels.push_back(LevelMasks{lvl_alive, lvl_rich, lvl_happy});
     for (Vertex v = 0; v < n; ++v) {
-      if (levels.back().happy[static_cast<std::size_t>(v)]) {
+      if (lvl_happy[static_cast<std::size_t>(v)]) {
         alive[static_cast<std::size_t>(v)] = 0;
         --alive_count;
       }
@@ -287,7 +322,7 @@ SparseResult list_color_sparse(const Graph& g, Vertex d,
   Coloring colors = empty_coloring(n);
   for (auto it = levels.rbegin(); it != levels.rend(); ++it)
     extend_level_lemma32(g, *it, lists, d, out.radius, colors, out.ledger,
-                         opts.executor);
+                         opts.executor, &arena);
 
   out.coloring = std::move(colors);
   return out;

@@ -27,6 +27,7 @@
 #include "scol/coloring/types.h"
 #include "scol/graph/graph.h"
 #include "scol/local/ledger.h"
+#include "scol/util/arena.h"
 #include "scol/util/executor.h"
 
 namespace scol {
@@ -44,6 +45,10 @@ struct SparseOptions {
   /// H-coloring, root-ball finishing); nullptr = serial. Results are
   /// bit-identical across executors.
   const Executor* executor = nullptr;
+  /// Scratch arena for level masks and shrunken palettes; nullptr = a
+  /// run-local arena. RunContext threads its own through here so campaign
+  /// jobs reuse chunks.
+  Arena* arena = nullptr;
 };
 
 struct PeelRecord {
@@ -72,11 +77,13 @@ SparseResult list_color_sparse(const Graph& g, Vertex d,
                                const SparseOptions& opts = {});
 
 /// One peel level's masks, in original vertex ids: the residual graph G_i
-/// (alive), its rich set R_i, and its happy set A_i.
+/// (alive), its rich set R_i, and its happy set A_i. Non-owning views —
+/// list_color_sparse carves them from its arena; ad-hoc callers (Theorem
+/// 6.1, tests, benches) wrap plain vectors, which convert implicitly.
 struct LevelMasks {
-  std::vector<char> alive;
-  std::vector<char> rich;
-  std::vector<char> happy;
+  std::span<const char> alive;
+  std::span<const char> rich;
+  std::span<const char> happy;
 };
 
 /// The Lemma 3.2 extension step, exposed for Theorem 6.1 and for the
@@ -89,6 +96,7 @@ struct LevelMasks {
 void extend_level_lemma32(const Graph& g, const LevelMasks& level,
                           const ListAssignment& lists, Vertex aux_dmax,
                           Vertex rho, Coloring& colors, RoundLedger& ledger,
-                          const Executor* executor = nullptr);
+                          const Executor* executor = nullptr,
+                          Arena* arena = nullptr);
 
 }  // namespace scol

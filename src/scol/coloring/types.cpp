@@ -5,14 +5,35 @@
 
 namespace scol {
 
+ListAssignment ListAssignment::from_lists(
+    const std::vector<std::vector<Color>>& ls) {
+  ListAssignment out;
+  std::size_t total = 0;
+  for (const auto& l : ls) total += l.size();
+  out.reserve(static_cast<Vertex>(ls.size()), total);
+  for (const auto& l : ls) out.append(l);
+  return out;
+}
+
+std::vector<std::vector<Color>> to_lists(const ListAssignment& lists) {
+  std::vector<std::vector<Color>> out(static_cast<std::size_t>(lists.size()));
+  for (Vertex v = 0; v < lists.size(); ++v) {
+    const auto l = lists.of(v);
+    out[static_cast<std::size_t>(v)].assign(l.begin(), l.end());
+  }
+  return out;
+}
+
 std::size_t ListAssignment::min_list_size() const {
+  if (size() == 0) return 0;
   std::size_t m = ~static_cast<std::size_t>(0);
-  for (const auto& l : lists) m = std::min(m, l.size());
-  return lists.empty() ? 0 : m;
+  for (Vertex v = 0; v < size(); ++v) m = std::min(m, of(v).size());
+  return m;
 }
 
 bool ListAssignment::canonical() const {
-  for (const auto& l : lists) {
+  for (Vertex v = 0; v < size(); ++v) {
+    const auto l = of(v);
     if (!std::is_sorted(l.begin(), l.end())) return false;
     if (std::adjacent_find(l.begin(), l.end()) != l.end()) return false;
   }
@@ -24,22 +45,24 @@ ListAssignment uniform_lists(Vertex n, Color k) {
   std::vector<Color> base(static_cast<std::size_t>(k));
   for (Color c = 0; c < k; ++c) base[static_cast<std::size_t>(c)] = c;
   ListAssignment out;
-  out.lists.assign(static_cast<std::size_t>(n), base);
+  out.reserve(n, static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (Vertex v = 0; v < n; ++v) out.append(base);
   return out;
 }
 
 ListAssignment random_lists(Vertex n, Color k, Color palette_size, Rng& rng) {
   SCOL_REQUIRE(k >= 1 && palette_size >= k);
   ListAssignment out;
-  out.lists.reserve(static_cast<std::size_t>(n));
+  out.reserve(n, static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
   std::vector<Color> palette(static_cast<std::size_t>(palette_size));
   for (Color c = 0; c < palette_size; ++c)
     palette[static_cast<std::size_t>(c)] = c;
+  std::vector<Color> list(static_cast<std::size_t>(k));
   for (Vertex v = 0; v < n; ++v) {
     rng.shuffle(palette);
-    std::vector<Color> list(palette.begin(), palette.begin() + k);
+    std::copy(palette.begin(), palette.begin() + k, list.begin());
     std::sort(list.begin(), list.end());
-    out.lists.push_back(std::move(list));
+    out.append(list);
   }
   return out;
 }
@@ -68,10 +91,10 @@ bool is_partial_proper(const Graph& g, const Coloring& c) {
 }
 
 bool respects_lists(const Coloring& c, const ListAssignment& lists) {
-  if (c.size() != lists.lists.size()) return false;
+  if (static_cast<Vertex>(c.size()) != lists.size()) return false;
   for (std::size_t v = 0; v < c.size(); ++v) {
     if (c[v] == kUncolored) continue;
-    if (!list_contains(lists.lists[v], c[v])) return false;
+    if (!list_contains(lists.of(static_cast<Vertex>(v)), c[v])) return false;
   }
   return true;
 }
@@ -83,7 +106,7 @@ Vertex count_colors(const Coloring& c) {
   return static_cast<Vertex>(used.size());
 }
 
-bool list_contains(const std::vector<Color>& list, Color x) {
+bool list_contains(std::span<const Color> list, Color x) {
   return std::binary_search(list.begin(), list.end(), x);
 }
 

@@ -4,6 +4,7 @@
 // {1..k}); kUncolored marks vertices not yet colored.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "scol/graph/graph.h"
@@ -16,15 +17,49 @@ inline constexpr Color kUncolored = -1;
 
 using Coloring = std::vector<Color>;
 
-/// A k-list-assignment L: lists[v] is the set of allowed colors of v
-/// (paper §1.2: |L(v)| >= k for a k-list-assignment).
-struct ListAssignment {
-  std::vector<std::vector<Color>> lists;
+/// A k-list-assignment L: of(v) is the set of allowed colors of v (paper
+/// §1.2: |L(v)| >= k for a k-list-assignment).
+///
+/// Storage is flat CSR (offsets + one contiguous color array), mirroring
+/// Graph: every per-vertex palette is a span into one allocation, so a
+/// sweep over all lists is a linear scan, not a pointer chase. Lists are
+/// appended in vertex order via append(); from_lists() converts the
+/// vector-of-vectors shape used by tests and ad-hoc callers.
+class ListAssignment {
+ public:
+  ListAssignment() = default;
 
-  Vertex size() const { return static_cast<Vertex>(lists.size()); }
-  const std::vector<Color>& of(Vertex v) const {
-    return lists[static_cast<std::size_t>(v)];
+  /// Number of vertices with a list.
+  Vertex size() const { return static_cast<Vertex>(offsets_.size()) - 1; }
+  bool empty() const { return offsets_.size() <= 1; }
+
+  /// The (sorted, duplicate-free when canonical) list of v, zero-copy.
+  std::span<const Color> of(Vertex v) const {
+    return {colors_.data() + offsets_[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1] -
+                                     offsets_[static_cast<std::size_t>(v)])};
   }
+
+  /// Appends the list of vertex size() (lists are built in vertex order).
+  void append(std::span<const Color> list) {
+    colors_.insert(colors_.end(), list.begin(), list.end());
+    offsets_.push_back(static_cast<std::int64_t>(colors_.size()));
+  }
+  void append(std::initializer_list<Color> list) {
+    append(std::span<const Color>(list.begin(), list.size()));
+  }
+
+  /// Pre-sizes the backing arrays (n lists, `total_colors` colors overall).
+  void reserve(Vertex n, std::size_t total_colors) {
+    offsets_.reserve(static_cast<std::size_t>(n) + 1);
+    colors_.reserve(total_colors);
+  }
+
+  /// Converts from the vector-of-vectors shape.
+  static ListAssignment from_lists(const std::vector<std::vector<Color>>& ls);
+
+  /// All colors of all lists, concatenated in vertex order.
+  std::span<const Color> flat() const { return colors_; }
 
   /// Smallest list size (the k of the k-list-assignment).
   std::size_t min_list_size() const;
@@ -32,7 +67,15 @@ struct ListAssignment {
   /// True iff every list is sorted and duplicate-free (the canonical form
   /// produced by the constructors below; algorithms may require it).
   bool canonical() const;
+
+ private:
+  std::vector<std::int64_t> offsets_{0};  // size n+1
+  std::vector<Color> colors_;             // flat, per-vertex slices
 };
+
+/// The vector-of-vectors shape of an assignment, for algorithms that
+/// mutate lists in place (the ERT construction shrinks its AvailableLists).
+std::vector<std::vector<Color>> to_lists(const ListAssignment& lists);
 
 /// The identical-lists assignment {0..k-1} for every vertex: list-coloring
 /// with these lists is exactly ordinary k-coloring.
@@ -58,6 +101,6 @@ bool respects_lists(const Coloring& c, const ListAssignment& lists);
 Vertex count_colors(const Coloring& c);
 
 /// True iff color x is in the (sorted) list.
-bool list_contains(const std::vector<Color>& list, Color x);
+bool list_contains(std::span<const Color> list, Color x);
 
 }  // namespace scol

@@ -1,7 +1,5 @@
 #include "scol/graph/bfs.h"
 
-#include <deque>
-
 namespace scol {
 
 std::vector<Vertex> bfs_distances(const Graph& g, Vertex source) {
@@ -11,7 +9,8 @@ std::vector<Vertex> bfs_distances(const Graph& g, Vertex source) {
 std::vector<Vertex> bfs_distances(const Graph& g,
                                   const std::vector<Vertex>& sources) {
   std::vector<Vertex> dist(static_cast<std::size_t>(g.num_vertices()), -1);
-  std::deque<Vertex> queue;
+  std::vector<Vertex> queue;
+  queue.reserve(sources.size());
   for (Vertex s : sources) {
     SCOL_REQUIRE(g.valid(s));
     if (dist[s] != 0) {
@@ -19,9 +18,8 @@ std::vector<Vertex> bfs_distances(const Graph& g,
       queue.push_back(s);
     }
   }
-  while (!queue.empty()) {
-    const Vertex u = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
     for (Vertex w : g.neighbors(u)) {
       if (dist[w] < 0) {
         dist[w] = dist[u] + 1;
@@ -84,11 +82,10 @@ std::vector<Vertex> bfs_parents(const Graph& g, Vertex source) {
   SCOL_REQUIRE(g.valid(source));
   std::vector<Vertex> parent(static_cast<std::size_t>(g.num_vertices()), -1);
   std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
-  std::deque<Vertex> queue{source};
+  std::vector<Vertex> queue{source};
   seen[source] = 1;
-  while (!queue.empty()) {
-    const Vertex u = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
     for (Vertex w : g.neighbors(u)) {
       if (!seen[w]) {
         seen[w] = 1;

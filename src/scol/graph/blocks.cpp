@@ -26,22 +26,31 @@ BlockDecomposition block_decomposition(const Graph& g) {
   std::vector<Vertex> low(static_cast<std::size_t>(n), 0);
   std::vector<Edge> edge_stack;
   std::vector<Frame> stack;
+  // Block-id stamps dedupe each popped block's endpoints in O(edges)
+  // instead of sort+unique over the 2x-duplicated endpoint list.
+  std::vector<Vertex> in_block(static_cast<std::size_t>(n), -1);
 
   auto pop_block = [&](Vertex u, Vertex v) {
     // Pop all edges up to and including (u, v); they form one block.
     Block b;
+    const Vertex id_stamp = static_cast<Vertex>(out.blocks.size());
     std::vector<Vertex> verts;
+    auto push_unique = [&](Vertex w) {
+      if (in_block[static_cast<std::size_t>(w)] != id_stamp) {
+        in_block[static_cast<std::size_t>(w)] = id_stamp;
+        verts.push_back(w);
+      }
+    };
     while (!edge_stack.empty()) {
       const Edge e = edge_stack.back();
       edge_stack.pop_back();
-      verts.push_back(e.first);
-      verts.push_back(e.second);
+      push_unique(e.first);
+      push_unique(e.second);
       ++b.num_edges;
       if ((e.first == u && e.second == v) || (e.first == v && e.second == u))
         break;
     }
     std::sort(verts.begin(), verts.end());
-    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
     b.vertices = std::move(verts);
     const Vertex id = static_cast<Vertex>(out.blocks.size());
     for (Vertex w : b.vertices)

@@ -4,45 +4,94 @@
 #include <sstream>
 
 namespace scol {
+namespace {
+
+// Counting-sort CSR construction shared by from_edges and
+// GraphBuilder::build: one pass counts endpoint degrees (validating range
+// and self-loops), a prefix sum lays out the offsets, a scatter pass fills
+// both directions, and each adjacency list is sorted locally. No global
+// O(m log m) edge sort. When `dedup` is false a duplicate edge throws;
+// when true duplicates are merged and the arrays recompacted in place.
+void build_csr(Vertex n, const std::vector<Edge>& edges, bool dedup,
+               std::vector<std::int64_t>& offsets, std::vector<Vertex>& adj) {
+  offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    SCOL_REQUIRE(u >= 0 && u < n && v >= 0 && v < n, + "endpoint range");
+    SCOL_REQUIRE(u != v, + "self-loop");
+    ++offsets[static_cast<std::size_t>(u) + 1];
+    ++offsets[static_cast<std::size_t>(v) + 1];
+  }
+  for (Vertex v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  adj.resize(edges.size() * 2);
+  std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  for (Vertex v = 0; v < n; ++v)
+    std::sort(adj.begin() + offsets[v], adj.begin() + offsets[v + 1]);
+
+  if (!dedup) {
+    for (Vertex v = 0; v < n; ++v)
+      SCOL_REQUIRE(std::adjacent_find(adj.begin() + offsets[v],
+                                      adj.begin() + offsets[v + 1]) ==
+                       adj.begin() + offsets[v + 1],
+                   + "duplicate edge");
+    return;
+  }
+  // Merge duplicates: compact each sorted list and rebuild the offsets.
+  std::size_t write = 0;
+  std::int64_t prev_end = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::int64_t begin = prev_end;
+    prev_end = offsets[v + 1];
+    std::int64_t kept = 0;
+    for (std::int64_t i = begin; i < offsets[v + 1]; ++i) {
+      if (i > begin && adj[static_cast<std::size_t>(i)] ==
+                           adj[static_cast<std::size_t>(i - 1)])
+        continue;
+      adj[write++] = adj[static_cast<std::size_t>(i)];
+      ++kept;
+    }
+    offsets[v + 1] = offsets[v] + kept;
+  }
+  adj.resize(write);
+}
+
+}  // namespace
 
 Graph Graph::from_edges(Vertex n, const std::vector<Edge>& edges) {
   SCOL_REQUIRE(n >= 0);
   Graph g;
   g.n_ = n;
-  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  build_csr(n, edges, /*dedup=*/false, g.offsets_, g.adj_);
+  return g;
+}
 
-  std::vector<Edge> norm;
-  norm.reserve(edges.size());
-  for (const auto& [u, v] : edges) {
-    SCOL_REQUIRE(u >= 0 && u < n && v >= 0 && v < n, + "endpoint range");
-    SCOL_REQUIRE(u != v, + "self-loop");
-    norm.emplace_back(std::min(u, v), std::max(u, v));
-  }
-  std::sort(norm.begin(), norm.end());
-  for (std::size_t i = 1; i < norm.size(); ++i)
-    SCOL_REQUIRE(norm[i] != norm[i - 1], + "duplicate edge");
-
-  for (const auto& [u, v] : norm) {
-    ++g.offsets_[u + 1];
-    ++g.offsets_[v + 1];
-  }
-  for (Vertex v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
-
-  g.adj_.resize(norm.size() * 2);
-  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const auto& [u, v] : norm) {
-    g.adj_[static_cast<std::size_t>(cursor[u]++)] = v;
-    g.adj_[static_cast<std::size_t>(cursor[v]++)] = u;
-  }
-  // Sorted input edges + two-pass fill keeps each adjacency list sorted,
-  // except that for a vertex w the neighbors smaller than w are appended
-  // after larger ones were... they are not: edges are sorted by (min,max),
-  // so for w we first see edges where w is the max (neighbor = min, sorted
-  // ascending) and later edges where w is the min (neighbor = max, sorted
-  // ascending). The concatenation is NOT sorted overall, so sort each list.
+Graph Graph::from_csr(Vertex n, std::vector<std::int64_t> offsets,
+                      std::vector<Vertex> adj) {
+  SCOL_REQUIRE(n >= 0);
+  SCOL_REQUIRE(static_cast<Vertex>(offsets.size()) == n + 1 &&
+                   offsets.front() == 0 &&
+                   offsets.back() == static_cast<std::int64_t>(adj.size()),
+               + "CSR offsets shape");
+  Graph g;
+  g.n_ = n;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+#ifndef NDEBUG
   for (Vertex v = 0; v < n; ++v) {
-    std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1]);
+    SCOL_DCHECK(g.offsets_[v] <= g.offsets_[v + 1], + "offsets monotone");
+    for (std::int64_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+      const Vertex w = g.adj_[static_cast<std::size_t>(i)];
+      SCOL_DCHECK(w >= 0 && w < n && w != v, + "CSR neighbor range");
+      SCOL_DCHECK(i == g.offsets_[v] ||
+                      g.adj_[static_cast<std::size_t>(i - 1)] < w,
+                  + "CSR lists sorted unique");
+    }
   }
+#endif
   return g;
 }
 
@@ -68,13 +117,13 @@ std::vector<Edge> Graph::edges() const {
 }
 
 Graph GraphBuilder::build() const {
-  std::vector<Edge> norm = edges_;
-  std::sort(norm.begin(), norm.end());
-  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
-  return Graph::from_edges(n_, norm);
+  Graph g;
+  g.n_ = n_;
+  build_csr(n_, edges_, /*dedup=*/true, g.offsets_, g.adj_);
+  return g;
 }
 
-InducedSubgraph induce(const Graph& g, const std::vector<char>& keep) {
+InducedSubgraph induce(const Graph& g, std::span<const char> keep) {
   SCOL_REQUIRE(static_cast<Vertex>(keep.size()) == g.num_vertices());
   InducedSubgraph out;
   out.to_induced.assign(keep.size(), -1);
@@ -84,11 +133,27 @@ InducedSubgraph induce(const Graph& g, const std::vector<char>& keep) {
       out.to_original.push_back(v);
     }
   }
-  std::vector<Edge> edges;
-  for (Vertex v : out.to_original)
-    for (Vertex w : g.neighbors(v))
-      if (v < w && keep[w]) edges.emplace_back(out.to_induced[v], out.to_induced[w]);
-  out.graph = Graph::from_edges(static_cast<Vertex>(out.to_original.size()), edges);
+  // Direct CSR fill: the relabeling v -> to_induced[v] is monotone, so the
+  // source graph's sorted lists stay sorted after filtering — no edge
+  // vector, no sort.
+  const Vertex nk = static_cast<Vertex>(out.to_original.size());
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(nk) + 1, 0);
+  std::vector<Vertex> adj;
+  for (Vertex x = 0; x < nk; ++x) {
+    std::int64_t deg = 0;
+    for (Vertex w : g.neighbors(out.to_original[static_cast<std::size_t>(x)]))
+      if (keep[static_cast<std::size_t>(w)]) ++deg;
+    offsets[static_cast<std::size_t>(x) + 1] =
+        offsets[static_cast<std::size_t>(x)] + deg;
+  }
+  adj.resize(static_cast<std::size_t>(offsets[nk]));
+  for (Vertex x = 0; x < nk; ++x) {
+    std::size_t i = static_cast<std::size_t>(offsets[x]);
+    for (Vertex w : g.neighbors(out.to_original[static_cast<std::size_t>(x)]))
+      if (keep[static_cast<std::size_t>(w)])
+        adj[i++] = out.to_induced[static_cast<std::size_t>(w)];
+  }
+  out.graph = Graph::from_csr(nk, std::move(offsets), std::move(adj));
   return out;
 }
 

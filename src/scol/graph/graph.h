@@ -25,8 +25,16 @@ class Graph {
 
   /// Builds a graph on n vertices from an edge list. Throws
   /// PreconditionError on self-loops, duplicate edges, or out-of-range
-  /// endpoints.
+  /// endpoints. O(n + m + sum deg log deg): counting-sort layout, no
+  /// global edge sort.
   static Graph from_edges(Vertex n, const std::vector<Edge>& edges);
+
+  /// Adopts a prebuilt CSR pair (offsets of size n+1, adj of size 2|E|,
+  /// every list sorted and duplicate-free). This is the zero-copy path for
+  /// emitters that already produce the flat layout (induce, io readers).
+  /// Shape is always checked; per-list invariants are DCHECKed.
+  static Graph from_csr(Vertex n, std::vector<std::int64_t> offsets,
+                        std::vector<Vertex> adj);
 
   /// Number of vertices n; vertex ids are 0..n-1.
   Vertex num_vertices() const { return n_; }
@@ -68,6 +76,8 @@ class Graph {
   bool valid(Vertex v) const { return v >= 0 && v < n_; }
 
  private:
+  friend class GraphBuilder;
+
   Vertex n_ = 0;
   std::vector<std::int64_t> offsets_{0};  // size n_+1
   std::vector<Vertex> adj_;               // size 2|E|, sorted per vertex
@@ -98,7 +108,11 @@ class GraphBuilder {
   /// Number of vertices the built graph will have.
   Vertex num_vertices() const { return n_; }
 
-  /// Builds the graph, deduplicating edges.
+  /// Reserves capacity for `m` add_edge calls.
+  void reserve(std::size_t m) { edges_.reserve(m); }
+
+  /// Builds the graph in CSR form directly (counting sort + per-list
+  /// dedup), merging duplicate edges.
   Graph build() const;
 
  private:
@@ -116,8 +130,9 @@ struct InducedSubgraph {
   std::vector<Vertex> to_induced;
 };
 
-/// Induced subgraph on `keep` (mask of size n, nonzero = keep).
-InducedSubgraph induce(const Graph& g, const std::vector<char>& keep);
+/// Induced subgraph on `keep` (mask of size n, nonzero = keep). Span mask,
+/// so arena-carved masks pass zero-copy; plain vector<char> converts.
+InducedSubgraph induce(const Graph& g, std::span<const char> keep);
 
 /// Induced subgraph on an explicit vertex set (need not be sorted; must not
 /// contain duplicates).

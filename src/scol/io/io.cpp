@@ -168,8 +168,13 @@ struct EdgeAccumulator {
                   std::to_string(first_n_line) + ")");
     stats.zero_indexed = zero_based;
     const Vertex shift = zero_based ? 0 : 1;
-    std::vector<Edge> clean;
-    clean.reserve(edges.size());
+    // Shift straight into the builder (add_edge normalizes orientation);
+    // it merges duplicates during its counting-sort CSR fill, so the
+    // merged count is the duplicate tally — no intermediate edge vector,
+    // no global sort.
+    GraphBuilder b(static_cast<Vertex>(n));
+    b.reserve(edges.size());
+    std::int64_t kept = 0;
     for (auto [u, v] : edges) {
       u = static_cast<Vertex>(u - shift);
       v = static_cast<Vertex>(v - shift);
@@ -177,15 +182,13 @@ struct EdgeAccumulator {
         ++self_loops;
         continue;
       }
-      clean.emplace_back(std::min(u, v), std::max(u, v));
+      b.add_edge(u, v);
+      ++kept;
     }
-    std::sort(clean.begin(), clean.end());
-    const auto last = std::unique(clean.begin(), clean.end());
-    stats.duplicate_edges =
-        static_cast<std::int64_t>(clean.end() - last);
-    clean.erase(last, clean.end());
+    Graph g = b.build();
+    stats.duplicate_edges = kept - g.num_edges();
     stats.self_loops = self_loops;
-    return Graph::from_edges(static_cast<Vertex>(n), clean);
+    return g;
   }
 };
 
@@ -387,7 +390,8 @@ ReadResult read_metis(LineReader& r) {
     }
     i = j;
   }
-  std::sort(clean.begin(), clean.end());
+  // `clean` is duplicate-free by construction (one entry per undirected
+  // edge) and from_edges no longer needs sorted input.
   out.stats.self_loops = self_loops;
   out.graph = Graph::from_edges(static_cast<Vertex>(acc.n), clean);
   return out;
@@ -556,17 +560,15 @@ ReadResult read_edge_list(LineReader& r) {
     return static_cast<Vertex>(
         std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
   };
-  std::vector<Edge> clean;
-  clean.reserve(raw.size());
-  for (const auto& [u, v] : raw) clean.emplace_back(dense(u), dense(v));
-  std::sort(clean.begin(), clean.end());
-  const auto last = std::unique(clean.begin(), clean.end());
-  out.stats.duplicate_edges = static_cast<std::int64_t>(clean.end() - last);
-  clean.erase(last, clean.end());
+  GraphBuilder b(static_cast<Vertex>(ids.size()));
+  b.reserve(raw.size());
+  for (const auto& [u, v] : raw) b.add_edge(dense(u), dense(v));
+  Graph g = b.build();  // merges duplicates in the counting-sort fill
+  out.stats.duplicate_edges =
+      static_cast<std::int64_t>(raw.size()) - g.num_edges();
   out.stats.self_loops = self_loops;
   out.stats.zero_indexed = !ids.empty() && ids.front() == 0;
-  out.graph =
-      Graph::from_edges(static_cast<Vertex>(ids.size()), clean);
+  out.graph = std::move(g);
   return out;
 }
 

@@ -1,0 +1,122 @@
+// Monotonic chunked arena for per-run scratch state.
+//
+// The solver's per-round mutable state — colors, shrunken palettes, level
+// masks, BFS scratch — is many short-lived allocations whose lifetimes all
+// end together (when the solve finishes). A monotonic arena turns each of
+// them into a bump-pointer carve from a few large chunks: allocation is
+// O(1), nothing is freed individually, and reset() recycles every chunk
+// for the next run. RunContext owns one arena per execution environment so
+// campaign jobs on the same worker reuse the same warmed-up chunks
+// (DESIGN.md "Memory layout").
+//
+// Thread-safety: an Arena is single-threaded by design — one arena per
+// worker, never shared. Spans handed out are trivially-destructible POD
+// views; the arena never runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "scol/util/check.h"
+
+namespace scol {
+
+/// Allocation counters, cheap enough to keep always-on; solve() surfaces
+/// them in the report metrics bag ("arena_allocs", "arena_bytes", ...).
+struct ArenaStats {
+  std::int64_t alloc_calls = 0;    ///< total alloc<T>() calls
+  std::int64_t bytes_requested = 0;///< payload bytes handed out (pre-align)
+  std::int64_t chunks = 0;         ///< chunks ever malloc'd
+  std::int64_t resets = 0;         ///< reset() calls (campaign job reuse)
+};
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the default chunk size; oversized requests get a
+  /// dedicated chunk.
+  explicit Arena(std::size_t chunk_bytes = std::size_t{1} << 20)
+      : chunk_bytes_(chunk_bytes) {
+    SCOL_REQUIRE(chunk_bytes >= 64);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// A span of n default-initialized Ts (uninitialized for trivial types;
+  /// callers always overwrite). T must be trivially destructible — the
+  /// arena never runs destructors.
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_default_constructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    ++stats_.alloc_calls;
+    stats_.bytes_requested += static_cast<std::int64_t>(n * sizeof(T));
+    if (n == 0) return {};
+    void* p = raw(n * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), n};
+  }
+
+  /// Like alloc, but value-initialized (zero-filled for scalars).
+  template <typename T>
+  std::span<T> alloc_zero(std::size_t n) {
+    std::span<T> s = alloc<T>(n);
+    for (T& x : s) x = T{};
+    return s;
+  }
+
+  /// Recycles every chunk; all previously returned spans are invalidated.
+  /// Capacity is kept, so steady-state runs allocate no new memory.
+  void reset() {
+    ++stats_.resets;
+    for (auto& c : chunks_) c.used = 0;
+    current_ = 0;
+  }
+
+  const ArenaStats& stats() const { return stats_; }
+
+  /// Total chunk capacity currently held (the arena's footprint).
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void* raw(std::size_t bytes, std::size_t align) {
+    // new[] storage is aligned to __STDCPP_DEFAULT_NEW_ALIGNMENT__ (>= 16),
+    // so aligning the offset within a chunk aligns the pointer.
+    SCOL_DCHECK(align <= 16 && (align & (align - 1)) == 0);
+    for (; current_ < chunks_.size(); ++current_) {
+      Chunk& c = chunks_[current_];
+      const std::size_t aligned = (c.used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= c.size) {
+        c.used = aligned + bytes;
+        return c.data.get() + aligned;
+      }
+    }
+    const std::size_t size = std::max(bytes, chunk_bytes_);
+    chunks_.push_back({std::make_unique<std::byte[]>(size), size, 0});
+    ++stats_.chunks;
+    Chunk& c = chunks_.back();
+    c.used = bytes;
+    return c.data.get();
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;
+  ArenaStats stats_;
+};
+
+}  // namespace scol

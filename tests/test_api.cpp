@@ -102,7 +102,7 @@ ColoringRequest to_request(const ApiCase& c) {
   req.algorithm = c.algo;
   req.k = c.k;
   req.params = c.params;
-  if (!c.lists.lists.empty()) req.lists = &c.lists;
+  if (!c.lists.empty()) req.lists = &c.lists;
   return req;
 }
 
@@ -158,7 +158,7 @@ TEST(Solve, RoundTripEveryAlgorithm) {
     if (c.expect == SolveStatus::kColored) {
       ASSERT_TRUE(r.coloring.has_value());
       EXPECT_TRUE(is_proper(c.graph, *r.coloring));
-      if (!c.lists.lists.empty()) {
+      if (!c.lists.empty()) {
         EXPECT_TRUE(respects_lists(*r.coloring, c.lists));
       }
       EXPECT_EQ(r.colors_used, count_colors(*r.coloring));
@@ -410,22 +410,20 @@ TEST(Lists, EdgeCases) {
   EXPECT_TRUE(full.canonical());
   EXPECT_EQ(full.min_list_size(), 4u);
   for (Vertex v = 0; v < 10; ++v)
-    EXPECT_EQ(full.of(v), (std::vector<Color>{0, 1, 2, 3}));
+    EXPECT_TRUE(std::ranges::equal(full.of(v),
+                                   std::vector<Color>{0, 1, 2, 3}));
 
   // canonical() on empty assignments and empty lists.
   ListAssignment none;
   EXPECT_TRUE(none.canonical());
   EXPECT_EQ(none.min_list_size(), 0u);
-  ListAssignment empties;
-  empties.lists.resize(3);
+  const ListAssignment empties =
+      ListAssignment::from_lists(std::vector<std::vector<Color>>(3));
   EXPECT_TRUE(empties.canonical());
   EXPECT_EQ(empties.min_list_size(), 0u);
 
-  ListAssignment bad;
-  bad.lists = {{2, 1}};  // unsorted
-  EXPECT_FALSE(bad.canonical());
-  bad.lists = {{1, 1}};  // duplicate
-  EXPECT_FALSE(bad.canonical());
+  EXPECT_FALSE(ListAssignment::from_lists({{2, 1}}).canonical());  // unsorted
+  EXPECT_FALSE(ListAssignment::from_lists({{1, 1}}).canonical());  // duplicate
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// CSR-vs-reference differential tests for the graph core.
+//
+// The CSR layout is now built by three production paths — from_edges
+// (counting sort, duplicates rejected), GraphBuilder::build (counting
+// sort, duplicates merged), and the zero-sort direct fill inside
+// induce() — none of which go through a global edge sort anymore. Each is
+// checked here against an independently computed reference (naive sorted
+// adjacency sets), on random inputs: identical degree sequences, identical
+// neighbor sets, and bit-identical end-to-end solve() reports no matter
+// which path built the graph.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "proptest.h"
+#include "scol/api/json.h"
+#include "scol/gen/random.h"
+#include "scol/graph/graph.h"
+
+namespace scol {
+namespace {
+
+// Reference representation: per-vertex sorted neighbor sets built edge by
+// edge, with none of the CSR machinery.
+std::vector<std::set<Vertex>> reference_adjacency(
+    Vertex n, const std::vector<Edge>& edges) {
+  std::vector<std::set<Vertex>> adj(static_cast<std::size_t>(n));
+  for (const auto& [u, v] : edges) {
+    adj[static_cast<std::size_t>(u)].insert(v);
+    adj[static_cast<std::size_t>(v)].insert(u);
+  }
+  return adj;
+}
+
+void expect_matches_reference(const Graph& g,
+                              const std::vector<std::set<Vertex>>& ref) {
+  ASSERT_EQ(static_cast<std::size_t>(g.num_vertices()), ref.size());
+  std::int64_t ref_edges = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    const auto& rv = ref[static_cast<std::size_t>(v)];
+    ref_edges += static_cast<std::int64_t>(rv.size());
+    ASSERT_EQ(nb.size(), rv.size()) << "degree of " << v;
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end())) << "CSR list sorted";
+    EXPECT_TRUE(std::equal(nb.begin(), nb.end(), rv.begin(), rv.end()))
+        << "neighbor set of " << v;
+    for (Vertex w : rv) EXPECT_TRUE(g.has_edge(v, w));
+  }
+  EXPECT_EQ(g.num_edges(), ref_edges / 2);
+}
+
+std::vector<Edge> random_edge_set(Vertex n, std::size_t target, Rng& rng) {
+  std::set<Edge> edges;
+  for (std::size_t t = 0; t < 3 * target; ++t) {
+    const Vertex u = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+    const Vertex v = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    edges.insert({std::min(u, v), std::max(u, v)});
+    if (edges.size() == target) break;
+  }
+  return {edges.begin(), edges.end()};
+}
+
+TEST(CsrDifferential, FromEdgesMatchesReference) {
+  Rng rng(31001);
+  for (int t = 0; t < 25; ++t) {
+    const Vertex n = 1 + static_cast<Vertex>(rng.below(60));
+    const std::vector<Edge> edges =
+        random_edge_set(n, rng.below(3 * static_cast<std::uint64_t>(n)), rng);
+    // Feed the edges in shuffled order with shuffled endpoint orientation:
+    // the layout must not depend on either.
+    std::vector<Edge> shuffled = edges;
+    rng.shuffle(shuffled);
+    for (auto& e : shuffled)
+      if (rng.chance(0.5)) std::swap(e.first, e.second);
+    expect_matches_reference(Graph::from_edges(n, shuffled),
+                             reference_adjacency(n, edges));
+  }
+}
+
+TEST(CsrDifferential, BuilderMergesDuplicatesToSameGraph) {
+  Rng rng(31007);
+  for (int t = 0; t < 25; ++t) {
+    const Vertex n = 2 + static_cast<Vertex>(rng.below(50));
+    const std::vector<Edge> edges =
+        random_edge_set(n, rng.below(2 * static_cast<std::uint64_t>(n)), rng);
+    GraphBuilder b(n);
+    for (const auto& [u, v] : edges) {
+      b.add_edge(u, v);
+      // Duplicate a random prefix of edges, in both orientations.
+      if (rng.chance(0.4)) b.add_edge(v, u);
+    }
+    const Graph via_builder = b.build();
+    const Graph via_edges = Graph::from_edges(n, edges);
+    expect_matches_reference(via_builder, reference_adjacency(n, edges));
+    EXPECT_EQ(via_builder.edges(), via_edges.edges());
+  }
+}
+
+TEST(CsrDifferential, InduceMatchesFilteredReference) {
+  Rng rng(31013);
+  for (int t = 0; t < 20; ++t) {
+    const Vertex n = 10 + static_cast<Vertex>(rng.below(60));
+    const Graph g = gnm(n, 2 * n, rng);
+    std::vector<char> keep(static_cast<std::size_t>(n), 0);
+    for (Vertex v = 0; v < n; ++v) keep[static_cast<std::size_t>(v)] = rng.chance(0.6);
+    const InducedSubgraph sub = induce(g, keep);
+    // Reference: filter the edge list by hand and relabel.
+    std::vector<Edge> kept_edges;
+    for (const auto& [u, v] : g.edges())
+      if (keep[static_cast<std::size_t>(u)] && keep[static_cast<std::size_t>(v)])
+        kept_edges.emplace_back(sub.to_induced[static_cast<std::size_t>(u)],
+                                sub.to_induced[static_cast<std::size_t>(v)]);
+    expect_matches_reference(
+        sub.graph,
+        reference_adjacency(sub.graph.num_vertices(), kept_edges));
+    // Round-trip of the id maps.
+    for (Vertex x = 0; x < sub.graph.num_vertices(); ++x)
+      EXPECT_EQ(sub.to_induced[static_cast<std::size_t>(
+                    sub.to_original[static_cast<std::size_t>(x)])],
+                x);
+  }
+}
+
+TEST(CsrDifferential, SolveReportsIdenticalAcrossBuildPaths) {
+  // The same instance built through from_edges and through GraphBuilder
+  // (with injected duplicates) must produce bit-identical solve() reports
+  // for every eligible algorithm — the end-to-end guard that the layout
+  // rewrite cannot leak into results.
+  ParamBag params;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(31019 + seed);
+    const proptest::Sample sample = proptest::random_graph(rng);
+    const std::vector<Edge> edges = sample.graph.edges();
+    const Graph via_edges =
+        Graph::from_edges(sample.graph.num_vertices(), edges);
+    GraphBuilder b(sample.graph.num_vertices());
+    for (const auto& [u, v] : edges) {
+      b.add_edge(u, v);
+      if (rng.chance(0.3)) b.add_edge(v, u);  // merged duplicate
+    }
+    const Graph via_builder = b.build();
+
+    const GraphProbe probe = probe_graph(via_edges);
+    for (const auto& cell :
+         proptest::eligible_cells(via_edges, params, probe)) {
+      ColoringRequest ra = proptest::cell_request(cell, via_edges);
+      ColoringRequest rb = proptest::cell_request(cell, via_builder);
+      RunContext ctx_a, ctx_b;
+      ColoringReport a = solve(ra, ctx_a);
+      ColoringReport b = solve(rb, ctx_b);
+      a.wall_ms = b.wall_ms = 0.0;  // the one nondeterministic field
+      EXPECT_EQ(to_json(a, /*include_coloring=*/true).dump(),
+                to_json(b, /*include_coloring=*/true).dump())
+          << sample.description << ": " << cell.info->name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scol

@@ -154,8 +154,9 @@ TEST(DeltaList, IdenticalListsOnCliqueComponentInfeasible) {
 
 TEST(DeltaList, DistinctListsOnCliqueComponentFeasible) {
   const Graph g = disjoint_union(complete(5), grid(6, 6));
-  ListAssignment lists = uniform_lists(g.num_vertices(), 4);
-  lists.lists[0] = {1, 2, 3, 7};  // break the identical-list obstruction
+  std::vector<std::vector<Color>> raw = to_lists(uniform_lists(g.num_vertices(), 4));
+  raw[0] = {1, 2, 3, 7};  // break the identical-list obstruction
+  const ListAssignment lists = ListAssignment::from_lists(raw);
   const ColoringReport r = delta_list_coloring(g, lists);
   ASSERT_TRUE(r.coloring.has_value());
   expect_proper_list_coloring(g, *r.coloring, lists);

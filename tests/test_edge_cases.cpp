@@ -80,8 +80,8 @@ TEST(EdgeCases, MixedComponents) {
 
 TEST(EdgeCases, ListsWithHugeColorValues) {
   const Graph g = cycle(8);
-  ListAssignment lists;
-  lists.lists.assign(8, {1'000'000, 2'000'000, 2'000'001});
+  const ListAssignment lists = ListAssignment::from_lists(
+      std::vector<std::vector<Color>>(8, {1'000'000, 2'000'000, 2'000'001}));
   const SparseResult r = list_color_sparse(g, 3, lists);
   ASSERT_TRUE(r.coloring.has_value());
   expect_proper_list_coloring(g, *r.coloring, lists);
@@ -91,9 +91,10 @@ TEST(EdgeCases, HeterogeneousListSizes) {
   // Some vertices get many more colors than d; must still respect lists.
   Rng rng(773);
   const Graph g = grid(9, 9);
-  ListAssignment lists = uniform_lists(81, 4);
+  std::vector<std::vector<Color>> raw = to_lists(uniform_lists(81, 4));
   for (Vertex v = 0; v < 81; v += 3)
-    lists.lists[static_cast<std::size_t>(v)] = {0, 1, 2, 3, 4, 5, 6, 7};
+    raw[static_cast<std::size_t>(v)] = {0, 1, 2, 3, 4, 5, 6, 7};
+  const ListAssignment lists = ListAssignment::from_lists(raw);
   const SparseResult r = list_color_sparse(g, 4, lists);
   ASSERT_TRUE(r.coloring.has_value());
   expect_proper_list_coloring(g, *r.coloring, lists);

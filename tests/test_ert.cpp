@@ -48,8 +48,8 @@ TEST(Ert, CliqueWithDifferentListsOutsideTheoremScope) {
   const Graph k4 = complete(4);
   AvailableLists avail{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 3}};
   EXPECT_THROW(degree_choosable_coloring(k4, avail), PreconditionError);
-  ListAssignment as_lists;
-  as_lists.lists = {avail[0], avail[1], avail[2], avail[3]};
+  const ListAssignment as_lists =
+      ListAssignment::from_lists({avail[0], avail[1], avail[2], avail[3]});
   EXPECT_TRUE(find_list_coloring(k4, as_lists).has_value());
 }
 
@@ -143,13 +143,11 @@ TEST(Ert, CrossCheckAgainstExactSolver) {
         g.num_vertices(), static_cast<Color>(g.max_degree() + 1),
         static_cast<Color>(g.max_degree() + 3), rng);
     ListAssignment trimmed;
-    trimmed.lists.resize(static_cast<std::size_t>(g.num_vertices()));
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      const auto& l = pool.of(v);
-      trimmed.lists[static_cast<std::size_t>(v)] =
-          std::vector<Color>(l.begin(), l.begin() + g.degree(v));
+      const auto l = pool.of(v);
       avail[static_cast<std::size_t>(v)] =
-          trimmed.lists[static_cast<std::size_t>(v)];
+          std::vector<Color>(l.begin(), l.begin() + g.degree(v));
+      trimmed.append(avail[static_cast<std::size_t>(v)]);
     }
     const Coloring ours = degree_choosable_coloring(g, avail);
     check(g, avail, ours);

@@ -15,7 +15,9 @@ namespace scol {
 namespace {
 
 // Builds a level where A = happy set at `rho` and colors V \ A greedily.
+// LevelMasks is a view type, so Staged owns the mask storage alongside it.
 struct Staged {
+  std::vector<char> alive, rich, happy;
   LevelMasks level;
   Coloring colors;
   ListAssignment lists;
@@ -25,9 +27,10 @@ Staged stage(const Graph& g, Vertex d, Vertex rho, Color palette, Rng& rng) {
   Staged s;
   const Vertex n = g.num_vertices();
   const HappyAnalysis h = compute_happy_set(g, d, rho);
-  s.level.alive.assign(static_cast<std::size_t>(n), 1);
-  s.level.rich = h.rich;
-  s.level.happy = h.happy;
+  s.alive.assign(static_cast<std::size_t>(n), 1);
+  s.rich = h.rich;
+  s.happy = h.happy;
+  s.level = LevelMasks{s.alive, s.rich, s.happy};
   s.lists = random_lists(n, static_cast<Color>(d), palette, rng);
   s.colors = empty_coloring(n);
   std::vector<char> keep(static_cast<std::size_t>(n), 0);
@@ -36,7 +39,7 @@ Staged stage(const Graph& g, Vertex d, Vertex rho, Color palette, Rng& rng) {
   const InducedSubgraph rest = induce(g, keep);
   ListAssignment rest_lists;
   for (Vertex x = 0; x < rest.graph.num_vertices(); ++x)
-    rest_lists.lists.push_back(
+    rest_lists.append(
         s.lists.of(rest.to_original[static_cast<std::size_t>(x)]));
   const auto c = degeneracy_list_coloring(rest.graph, rest_lists);
   if (c.has_value()) {

@@ -93,9 +93,9 @@ TEST(Exact, ChoosabilityOfK24ExceedsChi) {
   // K_{2,4} is 2-chromatic but not 2-list-colorable.
   const Graph g = complete_bipartite(2, 4);
   EXPECT_EQ(chromatic_number(g), 2);
-  ListAssignment bad;
-  bad.lists = {{0, 1}, {2, 3},                      // sides a1, a2
-               {0, 2}, {0, 3}, {1, 2}, {1, 3}};     // all pairs
+  const ListAssignment bad = ListAssignment::from_lists(
+      {{0, 1}, {2, 3},                          // sides a1, a2
+       {0, 2}, {0, 3}, {1, 2}, {1, 3}});        // all pairs
   EXPECT_FALSE(find_list_coloring(g, bad).has_value());
   // With 3-lists it always works (ch(K_{2,4}) = 3).
   EXPECT_TRUE(find_list_coloring(g, uniform_lists(6, 3)).has_value());
@@ -106,8 +106,8 @@ TEST(Exact, IdenticalListsOnCliqueFail) {
   // obstruction).
   const Graph k4 = complete(4);
   EXPECT_FALSE(find_list_coloring(k4, uniform_lists(4, 3)).has_value());
-  ListAssignment distinct;
-  distinct.lists = {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 3}};
+  const ListAssignment distinct = ListAssignment::from_lists(
+      {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 3}});
   EXPECT_TRUE(find_list_coloring(k4, distinct).has_value());
 }
 

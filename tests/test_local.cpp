@@ -98,8 +98,8 @@ TEST(Validate, ProperColoringChecks) {
 
 TEST(Validate, ListChecks) {
   const Graph p = path(3);
-  ListAssignment lists;
-  lists.lists = {{1, 2}, {3, 4}, {1, 5}};
+  const ListAssignment lists =
+      ListAssignment::from_lists({{1, 2}, {3, 4}, {1, 5}});
   Coloring ok{1, 3, 5};
   EXPECT_NO_THROW(expect_proper_list_coloring(p, ok, lists));
   Coloring off_list{1, 3, 2};

@@ -16,7 +16,6 @@ namespace {
 // deg(v), bumped to deg(v)+1 where niceness demands it.
 ListAssignment tight_nice_lists(const Graph& g, Color palette, Rng& rng) {
   ListAssignment out;
-  out.lists.resize(static_cast<std::size_t>(g.num_vertices()));
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
     const auto nb = g.neighbors(v);
     bool clique_nbhd = true;
@@ -33,7 +32,7 @@ ListAssignment tight_nice_lists(const Graph& g, Color palette, Rng& rng) {
     rng.shuffle(all);
     std::vector<Color> list(all.begin(), all.begin() + size);
     std::sort(list.begin(), list.end());
-    out.lists[static_cast<std::size_t>(v)] = std::move(list);
+    out.append(list);
   }
   return out;
 }

@@ -1,10 +1,14 @@
 // Cross-module property sweeps: Moore bound (Theorem 4.1/Corollary 4.2),
 // Proposition 2.2, Theorem 1.2 (folklore), chain chi <= ch <= floor(mad)+1,
-// and Observation 5.1-style list-surplus invariants exercised end to end.
+// and Observation 5.1-style list-surplus invariants exercised end to end —
+// plus the randomized registry-wide property harness (proptest.h):
+// validity, registered color bounds, and relabeling metamorphic
+// invariance for every eligible algorithm on random instances.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "proptest.h"
 #include "scol/coloring/exact.h"
 #include "scol/coloring/greedy.h"
 #include "scol/coloring/sparse.h"
@@ -160,6 +164,154 @@ TEST(Obs51, SurplusSurvivesPeeling) {
       list_color_sparse(g, d, uniform_lists(130, static_cast<Color>(d)));
   ASSERT_TRUE(r.coloring.has_value());
   expect_proper(g, *r.coloring);
+}
+
+// --- Randomized registry-wide property harness (proptest.h). ---
+
+// Shared driver: solve one eligible cell with independent validation on
+// and return the report after asserting the per-cell invariants.
+ColoringReport run_cell(const Graph& g, const proptest::EligibleCell& cell,
+                        const std::string& label) {
+  const ColoringRequest req = proptest::cell_request(cell, g);
+  RunContext ctx;
+  ctx.validate = true;  // solve() re-checks properness + lists itself
+  const ColoringReport r = solve(req, ctx);
+  EXPECT_NE(r.status, SolveStatus::kFailed)
+      << label << ": " << cell.info->name << " failed: " << r.failure_reason;
+  if (r.coloring.has_value()) {
+    // ctx.validate already demoted improper reports; re-check here so a
+    // validator regression cannot mask a solver regression.
+    expect_proper(g, *r.coloring);
+    if (req.lists != nullptr) {
+      EXPECT_TRUE(respects_lists(*r.coloring, *req.lists)) << label;
+    }
+    const std::int64_t bound =
+        cell.info->color_bound ? cell.info->color_bound(req) : -1;
+    if (bound >= 0) {
+      EXPECT_LE(r.colors_used, bound)
+          << label << ": " << cell.info->name
+          << " exceeded its registered color bound";
+    }
+  }
+  return r;
+}
+
+TEST(Proptest, EveryEligibleAlgorithmValidOnRandomGraphs) {
+  // Random instances through every registered algorithm whose structural
+  // precondition passes — exactly the cells a campaign would run. Each
+  // must color (eligibility promises success on uniform auto-k lists),
+  // validate, and respect its registered bound.
+  ParamBag params;
+  std::size_t cells_run = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(8800 + seed);
+    const proptest::Sample sample = proptest::random_graph(rng);
+    const std::string label =
+        sample.description + " (seed " + std::to_string(8800 + seed) + ")";
+    const GraphProbe probe = probe_graph(sample.graph);
+    for (const auto& cell :
+         proptest::eligible_cells(sample.graph, params, probe)) {
+      const ColoringReport r = run_cell(sample.graph, cell, label);
+      // Uniform k-lists on an eligible cell: infeasibility would
+      // contradict the eligibility promise for every builtin.
+      EXPECT_EQ(r.status, SolveStatus::kColored)
+          << label << ": " << cell.info->name;
+      ++cells_run;
+    }
+  }
+  // The pool mixes sparse/planar/complete families; a healthy registry
+  // yields many eligible cells. Guards against the filter going dark.
+  EXPECT_GE(cells_run, 60u);
+}
+
+TEST(Proptest, RelabelingIsMetamorphicInvariant) {
+  // Relabeling the vertices produces an isomorphic instance, so for every
+  // eligible algorithm the report status must not change, validity must
+  // survive on the relabeled instance, and the registered color bound
+  // (a function of the isomorphism class) must keep holding.
+  ParamBag params;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(9900 + seed);
+    const proptest::Sample sample = proptest::random_graph(rng);
+    const std::string label =
+        sample.description + " (seed " + std::to_string(9900 + seed) + ")";
+    const std::vector<Vertex> perm =
+        proptest::random_permutation(sample.graph.num_vertices(), rng);
+    const Graph relabeled = permute(sample.graph, perm);
+
+    // Structure is isomorphism-invariant: degree sequences must agree...
+    std::vector<Vertex> d1, d2;
+    for (Vertex v = 0; v < sample.graph.num_vertices(); ++v) {
+      d1.push_back(sample.graph.degree(v));
+      d2.push_back(relabeled.degree(v));
+    }
+    std::sort(d1.begin(), d1.end());
+    std::sort(d2.begin(), d2.end());
+    EXPECT_EQ(d1, d2) << label;
+    // ...and each eligible cell must behave identically up to relabeling.
+    const GraphProbe probe = probe_graph(sample.graph);
+    for (const auto& cell :
+         proptest::eligible_cells(sample.graph, params, probe)) {
+      proptest::EligibleCell relabeled_cell;
+      relabeled_cell.info = cell.info;
+      relabeled_cell.k_eff = cell.k_eff;
+      if (cell.info->caps.needs_lists)
+        relabeled_cell.lists = proptest::permuted_lists(cell.lists, perm);
+      const ColoringReport a = run_cell(sample.graph, cell, label);
+      const ColoringReport b =
+          run_cell(relabeled, relabeled_cell, label + " [relabeled]");
+      EXPECT_EQ(a.status, b.status) << label << ": " << cell.info->name
+                                    << " changed status under relabeling";
+    }
+  }
+}
+
+TEST(Proptest, ExactColorCountIsRelabelingInvariant) {
+  // The chromatic number is a graph invariant: the exact solver must
+  // report the same k-colorability verdict — and the same minimum — on
+  // every relabeling. This is the strongest form of the metamorphic
+  // property (heuristics may permute their coloring; the optimum cannot
+  // move).
+  Rng rng(777);
+  for (int t = 0; t < 8; ++t) {
+    const Graph g = gnm(11, 14 + static_cast<std::int64_t>(rng.below(10)), rng);
+    const std::vector<Vertex> perm =
+        proptest::random_permutation(g.num_vertices(), rng);
+    const Graph h = permute(g, perm);
+    EXPECT_EQ(chromatic_number(g), chromatic_number(h)) << describe(g);
+    const ListAssignment lists = random_lists(g.num_vertices(), 3, 6, rng);
+    EXPECT_EQ(find_list_coloring(g, lists).has_value(),
+              find_list_coloring(h, proptest::permuted_lists(lists, perm))
+                  .has_value())
+        << describe(g);
+  }
+}
+
+TEST(Proptest, ArenaReuseAcrossSolves) {
+  // A RunContext reused across solves recycles its arena: the second run
+  // resets the arena instead of growing it, and the per-run metrics carry
+  // the allocation counters (the memory-layout contract of DESIGN.md).
+  Rng rng(51);
+  const Graph g = random_regular(128, 4, rng);
+  const ListAssignment lists = uniform_lists(g.num_vertices(), 4);
+  ColoringRequest req = make_request("sparse", g, lists);
+  req.k = 4;
+  RunContext ctx;
+  const ColoringReport first = solve(req, ctx);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first.metrics.get_int("arena_allocs", 0), 0);
+  EXPECT_GT(first.metrics.get_int("arena_bytes", 0), 0);
+  ASSERT_NE(ctx.arena, nullptr);
+  const std::int64_t chunks_after_first = ctx.arena->stats().chunks;
+  const ColoringReport second = solve(req, ctx);
+  ASSERT_TRUE(second.ok());
+  // Identical run on a warmed arena: same allocation profile, no new
+  // chunks, and a bit-identical coloring.
+  EXPECT_EQ(ctx.arena->stats().chunks, chunks_after_first);
+  EXPECT_GE(ctx.arena->stats().resets, 2);
+  EXPECT_EQ(first.metrics.get_int("arena_allocs", -1),
+            second.metrics.get_int("arena_allocs", -2));
+  EXPECT_EQ(*first.coloring, *second.coloring);
 }
 
 }  // namespace

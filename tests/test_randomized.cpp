@@ -15,14 +15,13 @@ namespace {
 
 ListAssignment deg_plus_one_lists(const Graph& g, Color palette, Rng& rng) {
   ListAssignment out;
-  out.lists.resize(static_cast<std::size_t>(g.num_vertices()));
   std::vector<Color> all(static_cast<std::size_t>(palette));
   for (Color c = 0; c < palette; ++c) all[static_cast<std::size_t>(c)] = c;
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
     rng.shuffle(all);
     std::vector<Color> list(all.begin(), all.begin() + g.degree(v) + 1);
     std::sort(list.begin(), list.end());
-    out.lists[static_cast<std::size_t>(v)] = std::move(list);
+    out.append(list);
   }
   return out;
 }

@@ -123,8 +123,8 @@ TEST(Sparse, RejectsBadArguments) {
                PreconditionError);  // d < 3
   EXPECT_THROW(list_color_sparse(g, 3, uniform_lists(6, 2)),
                PreconditionError);  // lists too small
-  ListAssignment unsorted;
-  unsorted.lists.assign(6, {2, 1, 0});
+  const ListAssignment unsorted = ListAssignment::from_lists(
+      std::vector<std::vector<Color>>(6, {2, 1, 0}));
   EXPECT_THROW(list_color_sparse(g, 3, unsorted), PreconditionError);
 }
 
