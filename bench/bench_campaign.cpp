@@ -8,6 +8,13 @@
 // schedules.
 //
 //   $ ./bench_campaign [seeds]      (default seeds = 6)
+//   $ ./bench_campaign --baseline-out=BENCH_campaign.json [--baseline-reps=N]
+//
+// The baseline mode re-times the serial sweep and the summary-only fast
+// path (empty sink — no JSONL serialization) N times (default 3) and
+// pins the median jobs/s per series; see bench/baseline.h and
+// docs/BENCHMARKS.md.
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -15,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "baseline.h"
 #include "scol/scol.h"
 
 using namespace scol;
@@ -61,6 +69,10 @@ RunStats run_once(const CampaignSpec& spec, const Executor* executor,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string baseline_out =
+      scol::bench::take_flag(argc, argv, "--baseline-out");
+  const std::string baseline_reps =
+      scol::bench::take_flag(argc, argv, "--baseline-reps");
   const int seeds = argc > 1 ? std::atoi(argv[1]) : 6;
   if (seeds < 1) {
     std::cerr << "usage: bench_campaign [seeds >= 1]\n";
@@ -113,6 +125,40 @@ int main(int argc, char** argv) {
                             : " [STREAM MISMATCH]")
               << "\n";
     if (!identical) return 1;
+  }
+
+  if (!baseline_out.empty()) {
+    const int reps =
+        baseline_reps.empty() ? 3 : std::max(1, std::atoi(baseline_reps.c_str()));
+    std::vector<double> serial_jps, summary_jps;
+    for (int rep = 0; rep < reps; ++rep) {
+      const RunStats full = run_once(spec, nullptr, /*keep_lines=*/false);
+      serial_jps.push_back(static_cast<double>(jobs) / full.seconds);
+      // Summary-only fast path: an empty sink skips per-job JSONL
+      // serialization entirely (oracle + summary still run).
+      CampaignOptions options;
+      const auto t0 = Clock::now();
+      const CampaignResult r = run_campaign(spec, options, CampaignSink());
+      const double secs = seconds_since(t0);
+      if (r.jobs != jobs) {
+        std::cerr << "bench_campaign: summary-only job count mismatch\n";
+        return 1;
+      }
+      summary_jps.push_back(static_cast<double>(jobs) / secs);
+    }
+    scol::bench::BaselineWriter writer("bench_campaign");
+    writer.add_median("serial/jobs_per_s", serial_jps, "jobs/s",
+                      /*higher_is_better=*/true);
+    writer.add_median("summary_only/jobs_per_s", summary_jps, "jobs/s",
+                      /*higher_is_better=*/true);
+    if (!writer.write(baseline_out)) {
+      std::cerr << "bench_campaign: cannot write baseline '" << baseline_out
+                << "'\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << writer.size() << " series for "
+              << scol::bench::machine_class() << " to " << baseline_out
+              << "\n";
   }
   return 0;
 }

@@ -42,6 +42,9 @@
 //   --shard i/m        run shard i of m (instances round-robin)
 //   --out FILE         JSONL to FILE, summary to stdout (default: JSONL to
 //                      stdout, summary to stderr)
+//   --summary-only     no JSONL at all: per-job serialization is skipped
+//                      (the fast path for pure throughput / summary runs);
+//                      summary to stdout. Mutually exclusive with --out
 //   --with-timing      real per-line wall_ms (breaks stream bit-identity)
 //   --no-probe         disable the probe filter: ineligible cells fail
 //                      with a PreconditionError message instead of
@@ -247,8 +250,8 @@ int probe_main(int argc, char** argv) {
                "[--lists uniform|random] [--palette P]\n"
                "                [--param key=val]... "
                "[--algo-param NAME:key=val]... [--round-budget R]\n"
-               "                [--jobs N] [--shard i/m] [--out FILE] "
-               "[--with-timing] [--no-probe]\n"
+               "                [--jobs N] [--shard i/m] [--out FILE | "
+               "--summary-only] [--with-timing] [--no-probe]\n"
                "                [--planarity-limit N] [--girth-limit L] "
                "[--mad-limit N] [--pretty]\n";
   std::exit(2);
@@ -262,6 +265,7 @@ int campaign_main(int argc, char** argv) {
   CampaignOptions options;
   int jobs = 1;
   bool pretty = false;
+  bool summary_only = false;
   std::string out_path;
 
   const auto need_value = [&](int i, const char* flag) -> std::string {
@@ -330,6 +334,8 @@ int campaign_main(int argc, char** argv) {
       ++i;
     } else if (arg == "--with-timing") {
       options.include_timing = true;
+    } else if (arg == "--summary-only") {
+      summary_only = true;
     } else if (arg == "--no-probe") {
       spec.probe = false;
     } else if (arg == "--planarity-limit") {
@@ -354,6 +360,8 @@ int campaign_main(int argc, char** argv) {
   if (spec.algorithms.empty())
     campaign_usage_error("--algo is required (name or 'all')");
   if (jobs < 1) campaign_usage_error("--jobs must be >= 1");
+  if (summary_only && !out_path.empty())
+    campaign_usage_error("--summary-only and --out are mutually exclusive");
 
   try {
     std::ofstream out_file;
@@ -363,7 +371,8 @@ int campaign_main(int argc, char** argv) {
                                           "'");
     }
     std::ostream& lines = out_path.empty() ? std::cout : out_file;
-    std::ostream& summary = out_path.empty() ? std::cerr : std::cout;
+    std::ostream& summary =
+        (out_path.empty() && !summary_only) ? std::cerr : std::cout;
 
     // grain=1: the unit of job-level work is one instance, not 256.
     std::unique_ptr<ThreadPoolExecutor> pool;
@@ -372,8 +381,12 @@ int campaign_main(int argc, char** argv) {
       options.executor = pool.get();
     }
 
-    const CampaignResult result = run_campaign(
-        spec, options, [&](const std::string& line) { lines << line << "\n"; });
+    // --summary-only passes an empty sink: run_campaign's fast path then
+    // skips per-job JSONL serialization entirely.
+    CampaignSink sink;
+    if (!summary_only)
+      sink = [&](const std::string& line) { lines << line << "\n"; };
+    const CampaignResult result = run_campaign(spec, options, sink);
     lines.flush();
     if (!lines) {
       // Runtime failure (disk full, closed pipe), not a usage error: the

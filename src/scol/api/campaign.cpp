@@ -441,10 +441,15 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       if (graph != nullptr) oracle_cross_check(runs);
       const Graph empty;
       for (const JobRun& run : runs) {
-        out.lines.push_back(
-            job_line(run, scenario_spec, graph != nullptr ? *graph : empty,
-                     options.include_timing)
-                .dump());
+        // Summary-only fast path: with no sink attached, the JSONL lines
+        // have no consumer, so skip the per-job Json build + dump (the
+        // dominant serialization cost of a grid) entirely. Oracle checks
+        // and summary stats above are unaffected.
+        if (sink)
+          out.lines.push_back(
+              job_line(run, scenario_spec, graph != nullptr ? *graph : empty,
+                       options.include_timing)
+                  .dump());
         SlimStat stat;
         stat.status = run.report.status;
         stat.skipped = run.skipped;

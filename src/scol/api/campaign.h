@@ -121,7 +121,11 @@ struct CampaignResult {
   Json summary;
 };
 
-/// Receives each JSONL line (no trailing newline), in job order.
+/// Receives each JSONL line (no trailing newline), in job order. Passing
+/// an empty (default-constructed) sink is the summary-only fast path:
+/// per-job JSON serialization is skipped entirely — oracle checks and the
+/// aggregate summary still run — which is what `scol-cli campaign
+/// --summary-only` and throughput benches use.
 using CampaignSink = std::function<void(const std::string& line)>;
 
 /// The full grid in job order (all shards). Throws PreconditionError on

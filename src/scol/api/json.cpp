@@ -1,5 +1,6 @@
 #include "scol/api/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -72,48 +73,74 @@ Json& Json::push(Json value) {
   return *this;
 }
 
+Json& Json::reserve(std::size_t n) {
+  SCOL_REQUIRE(kind_ == Kind::kArr, + "reserve() needs a JSON array");
+  arr_.reserve(n);
+  return *this;
+}
+
+namespace {
+
+// Appends the escaped form of `s` straight into `out` — runs of clean
+// characters go through one bulk append instead of per-character pushes.
+// This sits on the campaign JSONL hot path (one call per string field
+// per job line), so no temporaries.
+void json_escape_to(std::string& out, const std::string& s) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const char* esc = nullptr;
+    switch (c) {
+      case '"':
+        esc = "\\\"";
+        break;
+      case '\\':
+        esc = "\\\\";
+        break;
+      case '\n':
+        esc = "\\n";
+        break;
+      case '\t':
+        esc = "\\t";
+        break;
+      case '\r':
+        esc = "\\r";
+        break;
+      default:
+        break;
+    }
+    if (esc == nullptr && static_cast<unsigned char>(c) >= 0x20) continue;
+    out.append(s, start, i - start);
+    if (esc != nullptr) {
+      out += esc;
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    }
+    start = i + 1;
+  }
+  out.append(s, start, s.size() - start);
+}
+
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  json_escape_to(out, s);
   return out;
 }
 
 void Json::dump_to(std::string& out, int indent, int depth) const {
   const bool pretty = indent >= 0;
-  const std::string pad =
-      pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
-             : "";
-  const std::string close_pad =
-      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
   const char* nl = pretty ? "\n" : "";
   const char* colon = pretty ? ": " : ":";
+  // Padding is appended directly (no per-node pad strings); compact mode
+  // pads nothing.
+  const auto pad_to = [&](int d) {
+    if (pretty) out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
   switch (kind_) {
     case Kind::kNull:
       out += "null";
@@ -121,9 +148,14 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
     case Kind::kBool:
       out += bool_ ? "true" : "false";
       break;
-    case Kind::kInt:
-      out += std::to_string(int_);
+    case Kind::kInt: {
+      // std::to_string allocates a temporary per call — a coloring array
+      // dumps thousands of integers, so format into a stack buffer.
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof(buf), int_);
+      out.append(buf, res.ptr);
       break;
+    }
     case Kind::kReal: {
       if (std::isfinite(real_)) {
         // Shortest decimal that parses back to the same double, so a
@@ -140,7 +172,9 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
       break;
     }
     case Kind::kStr:
-      out += '"' + json_escape(str_) + '"';
+      out += '"';
+      json_escape_to(out, str_);
+      out += '"';
       break;
     case Kind::kArr: {
       if (arr_.empty()) {
@@ -150,12 +184,12 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
       out += '[';
       out += nl;
       for (std::size_t i = 0; i < arr_.size(); ++i) {
-        out += pad;
+        pad_to(depth + 1);
         arr_[i].dump_to(out, indent, depth + 1);
         if (i + 1 < arr_.size()) out += ',';
         out += nl;
       }
-      out += close_pad;
+      pad_to(depth);
       out += ']';
       break;
     }
@@ -167,14 +201,16 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
       out += '{';
       out += nl;
       for (std::size_t i = 0; i < obj_.size(); ++i) {
-        out += pad;
-        out += '"' + json_escape(obj_[i].first) + '"';
+        pad_to(depth + 1);
+        out += '"';
+        json_escape_to(out, obj_[i].first);
+        out += '"';
         out += colon;
         obj_[i].second.dump_to(out, indent, depth + 1);
         if (i + 1 < obj_.size()) out += ',';
         out += nl;
       }
-      out += close_pad;
+      pad_to(depth);
       out += '}';
       break;
     }
@@ -222,6 +258,7 @@ Json to_json(const ColoringReport& report, bool include_coloring) {
   }
   if (include_coloring && report.coloring.has_value()) {
     Json colors = Json::array();
+    colors.reserve(report.coloring->size());
     for (const Color c : *report.coloring) colors.push(Json::integer(c));
     obj.set("coloring", std::move(colors));
   }

@@ -33,6 +33,9 @@ class Json {
   Json& set(const std::string& key, Json value);
   /// Array element.
   Json& push(Json value);
+  /// Pre-sizes an array's backing storage (Json nodes are large, so
+  /// growth reallocations are worth avoiding when the count is known).
+  Json& reserve(std::size_t n);
 
   /// Compact serialization (indent < 0) or pretty with `indent` spaces.
   std::string dump(int indent = -1) const;

@@ -5,6 +5,7 @@
 
 #include "scol/coloring/small_color_set.h"
 #include "scol/graph/bfs.h"
+#include "scol/util/prefetch.h"
 #include "scol/graph/blocks.h"
 #include "scol/graph/components.h"
 #include "scol/graph/gallai.h"
@@ -31,11 +32,19 @@ void greedy_by_decreasing_key(const Graph& g, const std::vector<Vertex>& dist,
     return x < y;
   });
   SmallColorSet forbidden;
-  for (Vertex v : order) {
+  for (std::size_t oi = 0; oi < order.size(); ++oi) {
+    const Vertex v = order[oi];
+    // Pull the next target's adjacency row in while this one colors.
+    if (oi + 1 < order.size())
+      SCOL_PREFETCH_RO(g.neighbors(order[oi + 1]).data());
     SCOL_DCHECK(colors[static_cast<std::size_t>(v)] == kUncolored);
     forbidden.clear();
-    for (Vertex w : g.neighbors(v)) {
-      const Color cw = colors[static_cast<std::size_t>(w)];
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (i + kPrefetchAhead < nb.size())
+        SCOL_PREFETCH_RO(
+            &colors[static_cast<std::size_t>(nb[i + kPrefetchAhead])]);
+      const Color cw = colors[static_cast<std::size_t>(nb[i])];
       if (cw != kUncolored) forbidden.insert(cw);
     }
     Color pick = kUncolored;

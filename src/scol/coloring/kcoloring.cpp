@@ -4,6 +4,7 @@
 
 #include "scol/coloring/small_color_set.h"
 #include "scol/util/executor.h"
+#include "scol/util/prefetch.h"
 #include "scol/util/prime.h"
 
 namespace scol {
@@ -136,16 +137,30 @@ DegreeColoringResult distributed_degree_coloring(const Graph& g, Vertex dmax,
   }
   for (std::int64_t c = k - 1; c >= target; --c) {
     const auto& members = classes[static_cast<std::size_t>(c - target)];
-    parallel_for_index(exec, members.size(), [&](std::size_t mi) {
-      const std::size_t i = static_cast<std::size_t>(members[mi]);
-      // At most deg <= dmax neighbor colors block the pick; a flat scan
-      // avoids the per-member heap allocation of a dense used[] mask.
+    // One forbidden-set per chunk, cleared per member (clear() only
+    // touches the words the last member dirtied) — a fresh set would pay
+    // a heap allocation per vertex.
+    exec.parallel_ranges(members.size(), [&](std::size_t begin,
+                                             std::size_t end) {
       SmallColorSet used;
-      for (Vertex w : g.neighbors(static_cast<Vertex>(i))) {
-        const Color cw = out.coloring[static_cast<std::size_t>(w)];
-        if (cw >= 0 && cw < target) used.insert(cw);
+      for (std::size_t mi = begin; mi < end; ++mi) {
+        const std::size_t i = static_cast<std::size_t>(members[mi]);
+        // Pull the next member's adjacency row while this one picks.
+        if (mi + 1 < end)
+          SCOL_PREFETCH_RO(g.neighbors(members[mi + 1]).data());
+        // At most deg <= dmax neighbor colors block the pick; the
+        // bitset's word scan finds the smallest free color branchlessly.
+        used.clear();
+        const auto nb = g.neighbors(static_cast<Vertex>(i));
+        for (std::size_t j = 0; j < nb.size(); ++j) {
+          if (j + kPrefetchAhead < nb.size())
+            SCOL_PREFETCH_RO(&out.coloring[static_cast<std::size_t>(
+                nb[j + kPrefetchAhead])]);
+          const Color cw = out.coloring[static_cast<std::size_t>(nb[j])];
+          if (cw >= 0 && cw < target) used.insert(cw);
+        }
+        out.coloring[i] = used.smallest_free();
       }
-      out.coloring[i] = used.smallest_free();
     });
     ++out.rounds;
   }

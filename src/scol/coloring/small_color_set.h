@@ -1,39 +1,74 @@
 // Small forbidden-color set for the per-vertex hot loops.
 //
 // The sweep, root-ball, ERT-greedy, and palette-reduction paths all
-// collect at most deg(v) neighbor colors before picking a free one; at
-// that size an unsorted flat buffer with linear membership beats a
-// node-based std::set by an order of magnitude (no allocation per
-// insert, one cache line for typical degrees). clear() keeps capacity,
-// so one instance serves a whole sequential scan.
+// collect at most deg(v) neighbor colors before picking a free one. The
+// set is a flat bitset over 64-color words: insert/contains are one shift
+// and mask (branchless), and smallest_free() is a countr_one scan over
+// palette words instead of a quadratic probe loop. Typical palettes fit
+// in one or two words, so a whole forbidden-set round trip — clear,
+// insert deg(v) colors, pick — touches a single cache line.
+//
+// clear() keeps capacity and zeroes only words up to the high-water mark
+// of the current epoch, so one instance serves a whole sequential scan
+// with O(max_color/64) — usually O(1) — work per vertex.
 #pragma once
 
-#include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "scol/coloring/types.h"
+#include "scol/util/check.h"
 
 namespace scol {
 
+/// A set of non-negative colors, tuned for the solver's per-vertex
+/// forbidden-set loops. Memory is O(max inserted color / 8) and is kept
+/// across clear() calls.
 class SmallColorSet {
  public:
-  void clear() { colors_.clear(); }
+  /// Empties the set. Capacity (and the backing words) are retained, so a
+  /// clear/insert/pick cycle in steady state allocates nothing.
+  void clear() {
+    for (std::size_t i = 0; i < used_words_; ++i) words_[i] = 0;
+    used_words_ = 0;
+  }
+
+  /// Inserts color c (>= 0). Duplicate inserts are no-ops.
   void insert(Color c) {
-    if (!contains(c)) colors_.push_back(c);
+    SCOL_DCHECK(c >= 0, + "colors are non-negative");
+    const std::size_t idx = static_cast<std::size_t>(c) >> 6;
+    if (idx >= words_.size()) words_.resize(idx + 1, 0);
+    words_[idx] |= std::uint64_t{1} << (static_cast<std::size_t>(c) & 63);
+    if (idx + 1 > used_words_) used_words_ = idx + 1;
   }
+
+  /// True iff c was inserted since the last clear(). O(1).
   bool contains(Color c) const {
-    return std::find(colors_.begin(), colors_.end(), c) != colors_.end();
+    SCOL_DCHECK(c >= 0, + "colors are non-negative");
+    const std::size_t idx = static_cast<std::size_t>(c) >> 6;
+    return idx < used_words_ &&
+           ((words_[idx] >> (static_cast<std::size_t>(c) & 63)) & 1) != 0;
   }
+
   /// Smallest color >= 0 not in the set (the greedy pick over a dense
-  /// palette).
+  /// palette): the first zero bit, found by countr_one over the words.
   Color smallest_free() const {
-    Color pick = 0;
-    while (contains(pick)) ++pick;
-    return pick;
+    for (std::size_t i = 0; i < used_words_; ++i) {
+      const std::uint64_t w = words_[i];
+      if (w != ~std::uint64_t{0})
+        return static_cast<Color>(i * 64 +
+                                  static_cast<std::size_t>(std::countr_one(w)));
+    }
+    return static_cast<Color>(used_words_ * 64);
   }
 
  private:
-  std::vector<Color> colors_;
+  // Invariant: every word at index >= used_words_ is zero (clear() zeroes
+  // exactly [0, used_words_), and any set bit raised the mark first), so
+  // clear() never has to touch the full capacity.
+  std::vector<std::uint64_t> words_;
+  std::size_t used_words_ = 0;
 };
 
 }  // namespace scol

@@ -8,6 +8,7 @@
 #include "scol/coloring/small_color_set.h"
 #include "scol/graph/bfs.h"
 #include "scol/graph/cliques.h"
+#include "scol/util/prefetch.h"
 
 namespace scol {
 
@@ -87,35 +88,49 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
         lh_colors.data() + lh_off[static_cast<std::size_t>(x)],
         static_cast<std::size_t>(lh_len[static_cast<std::size_t>(x)]));
   };
-  parallel_for_index(exec, t_members.size(), [&](std::size_t ti) {
-    const Vertex x = t_members[ti];
-    const Vertex v = gr.to_original[static_cast<std::size_t>(x)];
+  // One forbidden-set per chunk (cleared per vertex) so the hot loop pays
+  // no per-vertex heap allocation.
+  exec.parallel_ranges(t_members.size(), [&](std::size_t begin,
+                                             std::size_t end) {
     SmallColorSet forbidden;
-    Vertex deg_gi = 0, deg_h = 0;
-    for (Vertex w : g.neighbors(v)) {
-      if (!level.alive[static_cast<std::size_t>(w)]) continue;
-      ++deg_gi;
-      const Vertex wx = gr.to_induced[static_cast<std::size_t>(w)];
-      if (wx >= 0 && in_t[static_cast<std::size_t>(wx)]) {
-        ++deg_h;
-        continue;
+    for (std::size_t ti = begin; ti < end; ++ti) {
+      const Vertex x = t_members[ti];
+      const Vertex v = gr.to_original[static_cast<std::size_t>(x)];
+      forbidden.clear();
+      Vertex deg_gi = 0, deg_h = 0;
+      const auto nb = g.neighbors(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        // The gather chain adj[i] -> colors[adj[i]] misses on big rows;
+        // hint the color a few neighbors ahead while this one is scanned.
+        if (i + kPrefetchAhead < nb.size())
+          SCOL_PREFETCH_RO(
+              &colors[static_cast<std::size_t>(nb[i + kPrefetchAhead])]);
+        const Vertex w = nb[i];
+        if (!level.alive[static_cast<std::size_t>(w)]) continue;
+        ++deg_gi;
+        const Vertex wx = gr.to_induced[static_cast<std::size_t>(w)];
+        if (wx >= 0 && in_t[static_cast<std::size_t>(wx)]) {
+          ++deg_h;
+          continue;
+        }
+        const Color cw = colors[static_cast<std::size_t>(w)];
+        SCOL_DCHECK(cw != kUncolored,
+                    + "outside-T alive neighbors are colored");
+        forbidden.insert(cw);
       }
-      const Color cw = colors[static_cast<std::size_t>(w)];
-      SCOL_DCHECK(cw != kUncolored, + "outside-T alive neighbors are colored");
-      forbidden.insert(cw);
+      Color* out = lh_colors.data() + lh_off[static_cast<std::size_t>(x)];
+      std::int32_t len = 0;
+      for (Color c : lists.of(v))
+        if (!forbidden.contains(c)) out[len++] = c;
+      lh_len[static_cast<std::size_t>(x)] = len;
+      // Observation 5.1: |L_H(v)| >= |L(v)| - deg_{G_i}(v) + deg_H(v), and
+      // the sweep needs the weaker |L_H(v)| >= deg_H(v).
+      SCOL_CHECK(static_cast<Vertex>(len) >=
+                     static_cast<Vertex>(lists.of(v).size()) - deg_gi + deg_h,
+                 + "Observation 5.1 violated");
+      SCOL_CHECK(static_cast<Vertex>(len) >= deg_h,
+                 + "sweep capacity |L_H| >= deg_H violated");
     }
-    Color* out = lh_colors.data() + lh_off[static_cast<std::size_t>(x)];
-    std::int32_t len = 0;
-    for (Color c : lists.of(v))
-      if (!forbidden.contains(c)) out[len++] = c;
-    lh_len[static_cast<std::size_t>(x)] = len;
-    // Observation 5.1: |L_H(v)| >= |L(v)| - deg_{G_i}(v) + deg_H(v), and the
-    // sweep needs the weaker |L_H(v)| >= deg_H(v).
-    SCOL_CHECK(static_cast<Vertex>(len) >=
-                   static_cast<Vertex>(lists.of(v).size()) - deg_gi + deg_h,
-               + "Observation 5.1 violated");
-    SCOL_CHECK(static_cast<Vertex>(len) >= deg_h,
-               + "sweep capacity |L_H| >= deg_H violated");
   });
 
   // --- (d+1)-coloring of H = G_i[T]. ---
@@ -145,7 +160,14 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
         const Vertex v = gr.to_original[static_cast<std::size_t>(x)];
         forbidden.clear();
         bool parent_uncolored = false;
-        for (Vertex y : gr.graph.neighbors(x)) {
+        const auto nbx = gr.graph.neighbors(x);
+        for (std::size_t i = 0; i < nbx.size(); ++i) {
+          // Two-level gather (adj -> to_original -> colors): hint the
+          // relabeling entry ahead; the color load follows next trip.
+          if (i + kPrefetchAhead < nbx.size())
+            SCOL_PREFETCH_RO(&gr.to_original[static_cast<std::size_t>(
+                nbx[i + kPrefetchAhead])]);
+          const Vertex y = nbx[i];
           if (!in_t[static_cast<std::size_t>(y)]) continue;
           const Color cy = colors[static_cast<std::size_t>(
               gr.to_original[static_cast<std::size_t>(y)])];
@@ -207,7 +229,12 @@ void extend_level_lemma32(const Graph& g, const LevelMasks& level,
       const Vertex x = bg.to_original[static_cast<std::size_t>(bx)];  // gr id
       const Vertex v = gr.to_original[static_cast<std::size_t>(x)];
       forbidden.clear();
-      for (Vertex w : g.neighbors(v)) {
+      const auto nbv = g.neighbors(v);
+      for (std::size_t i = 0; i < nbv.size(); ++i) {
+        if (i + kPrefetchAhead < nbv.size())
+          SCOL_PREFETCH_RO(
+              &colors[static_cast<std::size_t>(nbv[i + kPrefetchAhead])]);
+        const Vertex w = nbv[i];
         if (!level.alive[static_cast<std::size_t>(w)]) continue;
         const Color cw = colors[static_cast<std::size_t>(w)];
         if (cw != kUncolored) forbidden.insert(cw);

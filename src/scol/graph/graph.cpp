@@ -123,6 +123,37 @@ Graph GraphBuilder::build() const {
   return g;
 }
 
+namespace {
+
+// Direct CSR fill from a prepared relabeling (out.to_original sorted
+// ascending, out.to_induced its inverse, -1 elsewhere): the relabeling
+// v -> to_induced[v] is monotone, so the source graph's sorted lists
+// stay sorted after filtering — no edge vector, no sort. Kept-neighbor
+// membership is read off to_induced, so the fill is O(sum deg) over the
+// kept vertices only.
+void fill_induced_csr(const Graph& g, InducedSubgraph& out) {
+  const Vertex nk = static_cast<Vertex>(out.to_original.size());
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(nk) + 1, 0);
+  std::vector<Vertex> adj;
+  for (Vertex x = 0; x < nk; ++x) {
+    std::int64_t deg = 0;
+    for (Vertex w : g.neighbors(out.to_original[static_cast<std::size_t>(x)]))
+      if (out.to_induced[static_cast<std::size_t>(w)] >= 0) ++deg;
+    offsets[static_cast<std::size_t>(x) + 1] =
+        offsets[static_cast<std::size_t>(x)] + deg;
+  }
+  adj.resize(static_cast<std::size_t>(offsets[nk]));
+  for (Vertex x = 0; x < nk; ++x) {
+    std::size_t i = static_cast<std::size_t>(offsets[x]);
+    for (Vertex w : g.neighbors(out.to_original[static_cast<std::size_t>(x)]))
+      if (out.to_induced[static_cast<std::size_t>(w)] >= 0)
+        adj[i++] = out.to_induced[static_cast<std::size_t>(w)];
+  }
+  out.graph = Graph::from_csr(nk, std::move(offsets), std::move(adj));
+}
+
+}  // namespace
+
 InducedSubgraph induce(const Graph& g, std::span<const char> keep) {
   SCOL_REQUIRE(static_cast<Vertex>(keep.size()) == g.num_vertices());
   InducedSubgraph out;
@@ -133,38 +164,30 @@ InducedSubgraph induce(const Graph& g, std::span<const char> keep) {
       out.to_original.push_back(v);
     }
   }
-  // Direct CSR fill: the relabeling v -> to_induced[v] is monotone, so the
-  // source graph's sorted lists stay sorted after filtering — no edge
-  // vector, no sort.
-  const Vertex nk = static_cast<Vertex>(out.to_original.size());
-  std::vector<std::int64_t> offsets(static_cast<std::size_t>(nk) + 1, 0);
-  std::vector<Vertex> adj;
-  for (Vertex x = 0; x < nk; ++x) {
-    std::int64_t deg = 0;
-    for (Vertex w : g.neighbors(out.to_original[static_cast<std::size_t>(x)]))
-      if (keep[static_cast<std::size_t>(w)]) ++deg;
-    offsets[static_cast<std::size_t>(x) + 1] =
-        offsets[static_cast<std::size_t>(x)] + deg;
-  }
-  adj.resize(static_cast<std::size_t>(offsets[nk]));
-  for (Vertex x = 0; x < nk; ++x) {
-    std::size_t i = static_cast<std::size_t>(offsets[x]);
-    for (Vertex w : g.neighbors(out.to_original[static_cast<std::size_t>(x)]))
-      if (keep[static_cast<std::size_t>(w)])
-        adj[i++] = out.to_induced[static_cast<std::size_t>(w)];
-  }
-  out.graph = Graph::from_csr(nk, std::move(offsets), std::move(adj));
+  fill_induced_csr(g, out);
   return out;
 }
 
 InducedSubgraph induce(const Graph& g, const std::vector<Vertex>& vertices) {
-  std::vector<char> keep(static_cast<std::size_t>(g.num_vertices()), 0);
-  for (Vertex v : vertices) {
+  // The happy-set and root-ball paths induce many small balls out of a
+  // big graph; sorting the k ids directly keeps this overload at
+  // O(k log k + k deg) past the unavoidable O(n) relabeling memset,
+  // instead of a full keep-mask scan of the graph. The result is
+  // identical to the mask overload: vertices end up ordered by original
+  // id either way.
+  InducedSubgraph out;
+  out.to_original = vertices;
+  std::sort(out.to_original.begin(), out.to_original.end());
+  out.to_induced.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t x = 0; x < out.to_original.size(); ++x) {
+    const Vertex v = out.to_original[x];
     SCOL_REQUIRE(g.valid(v));
-    SCOL_REQUIRE(!keep[v], + "duplicate vertex in induce()");
-    keep[v] = 1;
+    SCOL_REQUIRE(out.to_induced[static_cast<std::size_t>(v)] < 0,
+                 + "duplicate vertex in induce()");
+    out.to_induced[static_cast<std::size_t>(v)] = static_cast<Vertex>(x);
   }
-  return induce(g, keep);
+  fill_induced_csr(g, out);
+  return out;
 }
 
 Graph permute(const Graph& g, const std::vector<Vertex>& perm) {

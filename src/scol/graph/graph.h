@@ -19,6 +19,11 @@ namespace scol {
 using Vertex = std::int32_t;
 using Edge = std::pair<Vertex, Vertex>;
 
+/// Immutable simple undirected graph in CSR form: one offsets array
+/// (size n+1) and one flat sorted adjacency array (size 2|E|). All
+/// queries are O(1) or O(log deg); construction happens once through
+/// from_edges / from_csr / GraphBuilder and the graph never mutates,
+/// which is what lets solver runs share one instance across threads.
 class Graph {
  public:
   Graph() = default;
@@ -135,7 +140,11 @@ struct InducedSubgraph {
 InducedSubgraph induce(const Graph& g, std::span<const char> keep);
 
 /// Induced subgraph on an explicit vertex set (need not be sorted; must not
-/// contain duplicates).
+/// contain duplicates). Past the O(n) relabeling memset this costs only
+/// O(k log k + sum deg over the kept vertices), so inducing many small
+/// balls out of a big graph — the happy-set escalation path — stays
+/// proportional to ball size. Result is identical to the mask overload
+/// (vertices ordered by original id).
 InducedSubgraph induce(const Graph& g, const std::vector<Vertex>& vertices);
 
 /// Relabels vertices by `perm` (new id of v is perm[v]); perm must be a

@@ -34,6 +34,10 @@ struct ArenaStats {
   std::int64_t resets = 0;         ///< reset() calls (campaign job reuse)
 };
 
+/// Monotonic bump allocator over a few large chunks. alloc<T>() is a
+/// pointer bump, nothing is freed individually, reset() recycles all
+/// chunks while keeping their capacity. Single-threaded by design (one
+/// per worker); only trivially-destructible element types are accepted.
 class Arena {
  public:
   /// `chunk_bytes` is the default chunk size; oversized requests get a

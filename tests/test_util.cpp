@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "scol/coloring/small_color_set.h"
 #include "scol/util/check.h"
 #include "scol/util/prime.h"
 #include "scol/util/rng.h"
@@ -107,6 +108,88 @@ TEST(Table, AlignsAndCsv) {
 TEST(Table, RejectsWrongWidth) {
   Table t({"one", "two"});
   EXPECT_THROW(t.row(1), InternalError);
+}
+
+TEST(SmallColorSet, InsertContainsClear) {
+  SmallColorSet s;
+  EXPECT_FALSE(s.contains(0));
+  s.insert(0);
+  s.insert(5);
+  s.insert(5);  // duplicate is a no-op
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.contains(64));
+  s.clear();
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(SmallColorSet, SmallestFreeDensePrefix) {
+  SmallColorSet s;
+  EXPECT_EQ(s.smallest_free(), 0);
+  for (Color c = 0; c < 10; ++c) {
+    s.insert(c);
+    EXPECT_EQ(s.smallest_free(), c + 1);
+  }
+  // A gap wins over everything above it.
+  s.clear();
+  for (Color c = 0; c < 10; ++c)
+    if (c != 3) s.insert(c);
+  EXPECT_EQ(s.smallest_free(), 3);
+}
+
+TEST(SmallColorSet, WordBoundaries) {
+  // The bitset packs 64 colors per word; 63/64/65 straddle the first
+  // boundary and must not alias each other.
+  SmallColorSet s;
+  s.insert(63);
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_FALSE(s.contains(64));
+  EXPECT_EQ(s.smallest_free(), 0);
+  s.insert(64);
+  s.insert(65);
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(65));
+  // Fill word 0 completely: the scan must advance into word 1 and land on
+  // the first zero bit there (66).
+  for (Color c = 0; c < 64; ++c) s.insert(c);
+  EXPECT_EQ(s.smallest_free(), 66);
+}
+
+TEST(SmallColorSet, ClearResetsHighWaterMark) {
+  SmallColorSet s;
+  s.insert(200);  // forces several words into use
+  EXPECT_TRUE(s.contains(200));
+  s.clear();
+  EXPECT_FALSE(s.contains(200));
+  EXPECT_EQ(s.smallest_free(), 0);
+  // Reuse after clear behaves like a fresh set even though capacity is
+  // retained.
+  s.insert(1);
+  EXPECT_EQ(s.smallest_free(), 0);
+  s.insert(0);
+  EXPECT_EQ(s.smallest_free(), 2);
+  EXPECT_FALSE(s.contains(200));
+}
+
+TEST(SmallColorSet, MatchesReferenceSetRandomized) {
+  Rng rng(99);
+  SmallColorSet s;
+  for (int round = 0; round < 20; ++round) {
+    s.clear();
+    std::set<Color> ref;
+    for (int i = 0; i < 40; ++i) {
+      const Color c = static_cast<Color>(rng.below(150));
+      s.insert(c);
+      ref.insert(c);
+    }
+    for (Color c = 0; c < 160; ++c)
+      EXPECT_EQ(s.contains(c), ref.count(c) > 0) << "color " << c;
+    Color free = 0;
+    while (ref.count(free) > 0) ++free;
+    EXPECT_EQ(s.smallest_free(), free);
+  }
 }
 
 }  // namespace
