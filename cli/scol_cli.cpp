@@ -28,7 +28,11 @@
 //   --deadline-ms D    RunContext wall-clock budget
 //   --no-validate      skip the independent output validation
 //   --with-coloring    include the full coloring in the JSON
+//   --no-timing        zero wall_ms in the report (byte-stable output —
+//                      what scol-serve caches and scol-bench-load checks)
 //   --pretty           indent the JSON
+//   --version          print version and exit
+//   --help             usage and exit-code summary
 //
 // Campaign mode (`scol-cli campaign`):
 //   --gen SPEC         scenario axis (repeatable; default grid)
@@ -73,21 +77,30 @@
 #include <vector>
 
 #include "scol/api/api.h"
+#include "scol/api/oneshot.h"
 #include "scol/util/executor.h"
+#include "scol/version.h"
 
 namespace {
 
 using namespace scol;
 
+const char* kUsage =
+    "usage: scol-cli --algo NAME [--gen SPEC] [--k K] "
+    "[--lists uniform|random] [--palette P]\n"
+    "                [--param key=val]... [--seed S] "
+    "[--threads T] [--round-budget R]\n"
+    "                [--deadline-ms D] [--no-validate] "
+    "[--with-coloring] [--no-timing] [--pretty]\n"
+    "       scol-cli campaign ... | scol-cli probe ...\n"
+    "       scol-cli --list-algos | --list-gens | --version | --help\n"
+    "exit codes: 0 colored or infeasible (both are answers; campaign: "
+    "no oracle violation),\n"
+    "            1 failed report / oracle violation / runtime failure, "
+    "2 usage error\n";
+
 [[noreturn]] void usage_error(const std::string& message) {
-  std::cerr << "scol-cli: " << message << "\n"
-            << "usage: scol-cli --algo NAME [--gen SPEC] [--k K] "
-               "[--lists uniform|random] [--palette P]\n"
-               "                [--param key=val]... [--seed S] "
-               "[--threads T] [--round-budget R]\n"
-               "                [--deadline-ms D] [--no-validate] "
-               "[--with-coloring] [--pretty]\n"
-               "       scol-cli --list-algos | --list-gens\n";
+  std::cerr << "scol-cli: " << message << "\n" << kUsage;
   std::exit(2);
 }
 
@@ -411,19 +424,11 @@ int main(int argc, char** argv) {
     return campaign_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "probe")
     return probe_main(argc, argv);
-  std::string algo;
-  std::string gen = "grid";
-  std::string lists_mode = "uniform";
-  Vertex k = -1;
-  Color palette = -1;
-  std::uint64_t seed = 1;
-  int threads = 0;
-  std::int64_t round_budget = -1;
-  double deadline_ms = -1.0;
-  bool validate = true;
-  bool with_coloring = false;
+  // The run itself is delegated to one_shot_report() — the same code
+  // path scol-serve answers requests with, which is what makes served
+  // responses byte-identical to this binary's output by construction.
+  OneShotSpec spec;
   bool pretty = false;
-  ParamBag params;
 
   const auto need_value = [&](int i, const char* flag) -> std::string {
     if (i + 1 >= argc) usage_error(std::string(flag) + " needs a value");
@@ -437,106 +442,64 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-gens") {
       list_scenarios();
       return 0;
+    } else if (arg == "--version") {
+      std::cout << "scol-cli " << kVersion << "\n";
+      return 0;
+    } else if (arg == "--help") {
+      std::cout << kUsage;
+      return 0;
     } else if (arg == "--algo") {
-      algo = need_value(i, "--algo");
+      spec.algorithm = need_value(i, "--algo");
       ++i;
     } else if (arg == "--gen") {
-      gen = need_value(i, "--gen");
+      spec.scenario = need_value(i, "--gen");
       ++i;
     } else if (arg == "--lists") {
-      lists_mode = need_value(i, "--lists");
+      spec.lists_mode = need_value(i, "--lists");
+      if (spec.lists_mode != "uniform" && spec.lists_mode != "random")
+        usage_error("--lists must be uniform or random");
       ++i;
     } else if (arg == "--k") {
-      k = std::atoi(need_value(i, "--k").c_str());
+      spec.k = std::atoi(need_value(i, "--k").c_str());
       ++i;
     } else if (arg == "--palette") {
-      palette = std::atoi(need_value(i, "--palette").c_str());
+      spec.palette = std::atoi(need_value(i, "--palette").c_str());
       ++i;
     } else if (arg == "--param") {
-      parse_param(params, need_value(i, "--param"));
+      parse_param(spec.params, need_value(i, "--param"));
       ++i;
     } else if (arg == "--seed") {
-      seed = std::strtoull(need_value(i, "--seed").c_str(), nullptr, 10);
+      spec.seed = std::strtoull(need_value(i, "--seed").c_str(), nullptr,
+                                10);
       ++i;
     } else if (arg == "--threads") {
-      threads = std::atoi(need_value(i, "--threads").c_str());
+      spec.threads = std::atoi(need_value(i, "--threads").c_str());
       ++i;
     } else if (arg == "--round-budget") {
-      round_budget = std::atoll(need_value(i, "--round-budget").c_str());
+      spec.round_budget =
+          std::atoll(need_value(i, "--round-budget").c_str());
       ++i;
     } else if (arg == "--deadline-ms") {
-      deadline_ms = std::atof(need_value(i, "--deadline-ms").c_str());
+      spec.deadline_ms = std::atof(need_value(i, "--deadline-ms").c_str());
       ++i;
     } else if (arg == "--no-validate") {
-      validate = false;
+      spec.validate = false;
     } else if (arg == "--with-coloring") {
-      with_coloring = true;
+      spec.with_coloring = true;
+    } else if (arg == "--no-timing") {
+      spec.include_timing = false;
     } else if (arg == "--pretty") {
       pretty = true;
     } else {
       usage_error("unknown flag '" + arg + "'");
     }
   }
-  if (algo.empty()) usage_error("--algo is required");
+  if (spec.algorithm.empty()) usage_error("--algo is required");
 
   try {
-    const AlgorithmInfo& info = AlgorithmRegistry::instance().at(algo);
-
-    Rng scenario_rng(seed);
-    const Graph g = build_scenario(gen, scenario_rng);
-
-    // Default k (only when lists are needed and --k was not given):
-    // enough colors for every registered algorithm on any scenario (max
-    // degree + 1 covers d >= mad for sparse and deg+1 for randomized,
-    // AlgorithmInfo::min_k fixed palettes like planar6's 6-lists),
-    // never below the Theorem 1.3 floor of 3. Algorithms that merely
-    // *use* k (gps threshold, linial palette) keep their own defaults
-    // unless --k is explicit.
-    k = effective_k(info, k, g.max_degree(), params);
-
-    ListAssignment lists;
-    ColoringRequest req;
-    req.graph = &g;
-    req.algorithm = algo;
-    req.k = k;
-    req.params = params;
-    if (info.caps.needs_lists) {
-      if (lists_mode == "uniform") {
-        lists = uniform_lists(g.num_vertices(), k);
-      } else if (lists_mode == "random") {
-        if (palette <= 0) palette = 4 * k;
-        lists = random_lists(g.num_vertices(), k, palette, scenario_rng);
-      } else {
-        usage_error("--lists must be uniform or random");
-      }
-      req.lists = &lists;
-    }
-
-    RunContext ctx;
-    ctx.seed = seed;
-    ctx.round_budget = round_budget;
-    ctx.deadline_ms = deadline_ms;
-    ctx.validate = validate;
-    std::unique_ptr<ThreadPoolExecutor> pool;
-    if (threads > 0) {
-      pool = std::make_unique<ThreadPoolExecutor>(threads);
-      ctx.executor = pool.get();
-    }
-
-    const ColoringReport report = solve(req, ctx);
-
-    Json out = to_json(report, with_coloring);
-    Json scenario = Json::object();
-    scenario.set("spec", Json::str(gen));
-    scenario.set("n", Json::integer(g.num_vertices()));
-    scenario.set("m", Json::integer(g.num_edges()));
-    scenario.set("max_degree", Json::integer(g.max_degree()));
-    out.set("scenario", std::move(scenario));
-    out.set("k", Json::integer(k));
-    out.set("seed", Json::integer(static_cast<std::int64_t>(seed)));
-    out.set("threads", Json::integer(threads));
+    const Json out = one_shot_report(spec);
     std::cout << out.dump(pretty ? 2 : -1) << "\n";
-    return report.status == SolveStatus::kFailed ? 1 : 0;
+    return one_shot_exit_code(out);
   } catch (const std::exception& e) {
     std::cerr << "scol-cli: " << e.what() << "\n";
     return 2;

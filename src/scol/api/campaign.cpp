@@ -13,6 +13,7 @@
 #include "scol/api/solve.h"
 #include "scol/graph/graph.h"
 #include "scol/io/probe.h"
+#include "scol/serve/cache.h"
 
 namespace scol {
 namespace {
@@ -259,21 +260,13 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // File-backed scenarios ignore their Rng, so every seed of a spec is
   // the same graph: parse and probe once per distinct spec instead of
   // once per instance (a large .mtx would otherwise pay its dominant
-  // setup cost `seeds` times). The cached values are pure functions of
-  // the spec, so which worker populates the cache cannot affect the
-  // stream.
-  struct FileInstance {
-    std::once_flag graph_once, probe_once;
-    std::shared_ptr<const Graph> graph;
-    std::shared_ptr<const GraphProbe> probe;
-    std::string error;
-  };
-  // file_mu guards only the map shape; building happens under the
-  // entry's own once_flag, so one spec's multi-MB parse never blocks
-  // another spec's cache hit (std::map node stability keeps entry
-  // references valid across inserts).
-  std::mutex file_mu;
-  std::map<std::string, FileInstance> file_cache;
+  // setup cost `seeds` times). The memo is the serving layer's
+  // GraphStore — the campaign runner is just another client of the same
+  // content-addressed cache scol-serve uses, unbounded here because a
+  // campaign's file axis is finite and enumerated up front. The cached
+  // values are pure functions of the spec, so which worker populates
+  // the store cannot affect the stream.
+  GraphStore file_store;
   // Specs were validated by enumerate_campaign, so reading the name is
   // a prefix check — no need to re-parse params per instance.
   const auto is_file_spec = [](const std::string& s) {
@@ -302,24 +295,12 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       std::shared_ptr<const Graph> shared_graph;
       const Graph* graph = nullptr;
       std::string build_error;
-      FileInstance* file_entry = nullptr;
+      std::shared_ptr<GraphEntry> file_entry;
       if (file_backed) {
-        {
-          std::lock_guard<std::mutex> lock(file_mu);
-          file_entry = &file_cache[scenario_spec];
-        }
-        std::call_once(file_entry->graph_once, [&] {
-          try {
-            Rng rng(seed);  // unused: file scenarios ignore their Rng
-            file_entry->graph = std::make_shared<const Graph>(
-                build_scenario(scenario_spec, rng));
-          } catch (const std::exception& e) {
-            file_entry->error = e.what();
-          }
-        });
-        shared_graph = file_entry->graph;
+        file_entry = file_store.get_scenario(scenario_spec, seed);
+        shared_graph = file_entry->shared_graph();
         graph = shared_graph.get();
-        build_error = file_entry->error;
+        build_error = file_entry->error();
       } else {
         try {
           Rng rng(seed);
@@ -335,7 +316,6 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       // Probed lazily: only when the filter is on AND some algorithm of
       // the axis actually registered a precondition.
       std::optional<GraphProbe> local_probe;
-      std::shared_ptr<const GraphProbe> shared_probe;
       const GraphProbe* probe = nullptr;
 
       for (std::size_t a = 0; a < num_algorithms; ++a) {
@@ -367,12 +347,9 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         if (spec.probe && info.precondition) {
           if (probe == nullptr) {
             if (file_backed) {
-              std::call_once(file_entry->probe_once, [&] {
-                file_entry->probe = std::make_shared<const GraphProbe>(
-                    probe_graph(*graph, spec.probe_options));
-              });
-              shared_probe = file_entry->probe;
-              probe = shared_probe.get();
+              // Once-memoized on the entry; file_entry stays alive for
+              // this whole instance, so the reference is stable.
+              probe = &file_entry->probe(spec.probe_options);
             } else {
               local_probe = probe_graph(*graph, spec.probe_options);
               probe = &*local_probe;

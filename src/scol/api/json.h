@@ -1,10 +1,15 @@
-// Minimal JSON value tree and the ColoringReport serializer.
+// Minimal JSON value tree: the ColoringReport serializer and the wire
+// parser of the serving layer.
 //
 // scol-cli emits every run as one machine-readable JSON report — the
-// ingestion format a future sharded/batched/service backend consumes, and
-// the thing CI's schema check validates. The writer is deliberately tiny
-// (objects keep insertion order; no parser): enough for reports,
-// telemetry dumps, and bench output without an external dependency.
+// ingestion format the scol-serve daemon and CI's schema check consume.
+// The tree is deliberately tiny (objects keep insertion order): enough
+// for reports, telemetry dumps, bench output, and the newline-delimited
+// request/response protocol of serve/ without an external dependency.
+// parse() is strict recursive descent over one document; the writer's
+// output always round-trips through it byte-identically (shortest
+// round-trip doubles, minimal escapes), which is what lets cached report
+// JSON be compared and re-emitted verbatim.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +33,40 @@ class Json {
   static Json array();
   static Json object();
   static Json from_param(const ParamBag::Value& v);
+
+  /// Strict parse of exactly one JSON document (trailing whitespace
+  /// allowed, anything else throws PreconditionError naming the byte
+  /// offset). Numbers lex as kInt when they are integral without '.', 'e'
+  /// and fit std::int64_t, else kReal — mirroring the writer, so
+  /// parse(x.dump()).dump() == x.dump().
+  static Json parse(const std::string& text);
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_real() const { return kind_ == Kind::kReal; }
+  bool is_number() const { return is_int() || is_real(); }
+  bool is_str() const { return kind_ == Kind::kStr; }
+  bool is_array() const { return kind_ == Kind::kArr; }
+  bool is_object() const { return kind_ == Kind::kObj; }
+
+  /// Typed readers; each throws PreconditionError on a kind mismatch
+  /// (as_real widens an int).
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_real() const;
+  const std::string& as_str() const;
+
+  /// Object lookup: the member value, or nullptr when absent (or when
+  /// this is not an object).
+  const Json* get(const std::string& key) const;
+
+  /// Array / object element counts (0 for scalars).
+  std::size_t size() const;
+  /// Array element (throws on kind mismatch or out-of-range).
+  const Json& at(std::size_t i) const;
+  /// Object members in insertion order (empty for non-objects).
+  const std::vector<std::pair<std::string, Json>>& members() const;
 
   /// Object field (insertion-ordered; replaces an existing key).
   Json& set(const std::string& key, Json value);

@@ -1,0 +1,161 @@
+#include "scol/serve/cache.h"
+
+#include "scol/api/scenario.h"
+#include "scol/util/rng.h"
+
+namespace scol {
+
+namespace {
+
+// Specs were validated upstream (build_scenario re-validates anyway), so
+// reading the scenario name is a prefix check.
+bool is_file_spec(const std::string& spec) {
+  return spec.substr(0, spec.find(':')) == "file";
+}
+
+}  // namespace
+
+const GraphProbe& GraphEntry::probe(const ProbeOptions& options) {
+  SCOL_REQUIRE(graph_ != nullptr, + "probe() needs a built graph");
+  std::call_once(probe_once_,
+                 [&] { probe_ = probe_graph(*graph_, options); });
+  return *probe_;
+}
+
+std::shared_ptr<GraphEntry> GraphStore::get_scenario(const std::string& spec,
+                                                     std::uint64_t seed,
+                                                     bool* cache_hit) {
+  // File scenarios ignore their Rng: every seed is the same parse, so
+  // normalizing the key to seed 0 makes a multi-seed sweep pay the
+  // (dominant) parse cost once.
+  const Key key{spec, is_file_spec(spec) ? 0 : seed};
+
+  std::shared_ptr<GraphEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      if (cache_hit != nullptr) *cache_hit = true;
+      touch(key);
+      entry = it->second;
+    } else {
+      ++stats_.misses;
+      if (cache_hit != nullptr) *cache_hit = false;
+      // Insert a placeholder under the lock; the build itself runs
+      // outside it under the entry's own once-flag, so a slow parse
+      // never serializes the store — and every requester (including
+      // cache hits that raced the builder) rendezvouses on that flag
+      // before reading the entry.
+      entry = std::make_shared<GraphEntry>();
+      entries_.emplace(key, entry);
+      lru_.push_front(key);
+      lru_pos_[key] = lru_.begin();
+      stats_.entries = entries_.size();
+    }
+  }
+
+  std::call_once(entry->build_once_, [&] {
+    try {
+      Rng rng(seed);
+      auto graph = std::make_shared<const Graph>(build_scenario(spec, rng));
+      entry->digest_ = hash_graph(*graph);
+      entry->graph_ = std::move(graph);
+    } catch (const std::exception& e) {
+      entry->error_ = e.what();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    // Index by content only if this entry still owns its key (a tiny
+    // capacity can evict an entry while it builds; the evicted build
+    // stays usable for its requesters, just unindexed).
+    auto it = entries_.find(key);
+    if (entry->graph_ != nullptr && it != entries_.end() &&
+        it->second == entry)
+      by_digest_.emplace(entry->digest_, entry);
+    evict_if_needed();
+  });
+  return entry;
+}
+
+std::shared_ptr<GraphEntry> GraphStore::find_digest(const Digest& digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_digest_.find(digest);
+  if (it == by_digest_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+CacheStats GraphStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void GraphStore::touch(const Key& key) {
+  auto pos = lru_pos_.find(key);
+  if (pos == lru_pos_.end()) return;
+  lru_.splice(lru_.begin(), lru_, pos->second);
+}
+
+void GraphStore::evict_if_needed() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      if (it->second->graph_ != nullptr) {
+        auto digest_it = by_digest_.find(it->second->digest_);
+        if (digest_it != by_digest_.end() && digest_it->second == it->second)
+          by_digest_.erase(digest_it);
+      }
+      entries_.erase(it);
+    }
+    ++stats_.evictions;
+    stats_.entries = entries_.size();
+  }
+}
+
+std::shared_ptr<const std::string> ReportCache::lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  auto pos = lru_pos_.find(key);
+  if (pos != lru_pos_.end())
+    lru_.splice(lru_.begin(), lru_, pos->second);
+  return it->second;
+}
+
+void ReportCache::insert(const std::string& key, std::string report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.find(key) != entries_.end()) return;  // first writer wins
+  entries_.emplace(key,
+                   std::make_shared<const std::string>(std::move(report)));
+  lru_.push_front(key);
+  lru_pos_[key] = lru_.begin();
+  if (capacity_ != 0) {
+    while (entries_.size() > capacity_ && !lru_.empty()) {
+      const std::string victim = lru_.back();
+      lru_.pop_back();
+      lru_pos_.erase(victim);
+      entries_.erase(victim);
+      ++stats_.evictions;
+    }
+  }
+  stats_.entries = entries_.size();
+}
+
+CacheStats ReportCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace scol

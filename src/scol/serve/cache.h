@@ -1,0 +1,133 @@
+// Content-addressed caches for the serving layer.
+//
+// GraphStore memoizes scenario building: (spec, seed) → parsed/generated
+// CSR plus its lazily-computed structure probe, indexed a second time by
+// content digest so requests can name a graph by hash alone. This is the
+// per-spec parse+probe memoization that campaign.cpp grew for file-backed
+// scenarios, generalized so one store serves many connections (and the
+// campaign runner itself — it is now just another client of this cache).
+//
+// ReportCache memoizes finished report JSON verbatim: the campaign
+// runner's determinism contract (same (graph digest, algorithm, seed,
+// canonical params) → byte-identical report) is what makes returning
+// cached bytes sound, so the cache stores the exact serialized string and
+// hands it back untouched.
+//
+// Both caches are bounded LRU (capacity 0 = unbounded), safe for
+// concurrent use, and export hit/miss/eviction counters for the server's
+// /stats endpoint. Graph builds happen outside the store lock under a
+// per-entry once-flag, so one connection's multi-MB parse never blocks
+// another connection's cache hit.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "scol/graph/graph.h"
+#include "scol/io/probe.h"
+#include "scol/serve/hash.h"
+
+namespace scol {
+
+/// Monotonic counters of one cache (read via snapshot(), so a stats
+/// request never tears a half-updated pair).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  ///< current population
+};
+
+/// One cached graph: the digest-addressed CSR, a lazily probed structure
+/// summary, or the build error if the scenario failed.
+class GraphEntry {
+ public:
+  /// Content digest of the built graph (zero digest when errored).
+  const Digest& digest() const { return digest_; }
+  /// The graph, or nullptr when the build failed (see error()).
+  const Graph* graph() const { return graph_.get(); }
+  std::shared_ptr<const Graph> shared_graph() const { return graph_; }
+  const std::string& error() const { return error_; }
+
+  /// The structure probe, computed once per entry on first request (the
+  /// first caller's options win — matching the one-campaign-one-options
+  /// usage — so the memo is a pure function of the graph per store).
+  /// Requires a successfully built graph.
+  const GraphProbe& probe(const ProbeOptions& options);
+
+ private:
+  friend class GraphStore;
+  Digest digest_;
+  std::shared_ptr<const Graph> graph_;
+  std::string error_;
+  std::once_flag build_once_;
+  std::once_flag probe_once_;
+  std::optional<GraphProbe> probe_;
+};
+
+class GraphStore {
+ public:
+  /// capacity = maximum resident graphs (0 = unbounded). Evicted entries
+  /// stay alive for whoever still holds their shared_ptr.
+  explicit GraphStore(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// The graph of `spec` under `seed`, built on first request. File-backed
+  /// specs ignore their seed (every seed is the same parse), mirroring
+  /// campaign.cpp. Build failures are cached too — a bad path errors once,
+  /// not once per request. `cache_hit`, when given, reports whether this
+  /// call was answered from the cache.
+  std::shared_ptr<GraphEntry> get_scenario(const std::string& spec,
+                                           std::uint64_t seed,
+                                           bool* cache_hit = nullptr);
+
+  /// Content-addressed lookup: the resident entry with this digest, or
+  /// nullptr (the store never rebuilds from a digest — it cannot).
+  std::shared_ptr<GraphEntry> find_digest(const Digest& digest);
+
+  CacheStats stats() const;
+
+ private:
+  using Key = std::pair<std::string, std::uint64_t>;
+
+  void touch(const Key& key);  // callers hold mu_
+  void evict_if_needed();      // callers hold mu_
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<GraphEntry>> entries_;
+  std::map<Digest, std::shared_ptr<GraphEntry>> by_digest_;
+  std::list<Key> lru_;  // front = most recently used
+  std::map<Key, std::list<Key>::iterator> lru_pos_;
+  CacheStats stats_;
+};
+
+/// LRU map from a canonical request key to the exact serialized report —
+/// bytes in, identical bytes out.
+class ReportCache {
+ public:
+  explicit ReportCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// The cached report for `key`, or nullptr (counts a hit/miss).
+  std::shared_ptr<const std::string> lookup(const std::string& key);
+
+  /// Stores `report` under `key` (first writer wins on a race; the value
+  /// is deterministic either way).
+  void insert(const std::string& key, std::string report);
+
+  CacheStats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const std::string>> entries_;
+  std::list<std::string> lru_;
+  std::map<std::string, std::list<std::string>::iterator> lru_pos_;
+  CacheStats stats_;
+};
+
+}  // namespace scol

@@ -1,0 +1,69 @@
+// FdStreamBuf: a buffered std::streambuf over a POSIX file descriptor.
+//
+// The serving layer talks NDJSON through std::istream/std::ostream so
+// the same Server code handles a stringstream in tests, stdin/stdout in
+// pipe mode, and a socket in TCP mode. This adapter covers the last
+// case (and the load generator's pipes): one instance carries both
+// directions, so a connection's istream and ostream share it.
+//
+// in_avail() reflects only what a previous read() buffered — exactly
+// the "is more input already here?" signal the server's opportunistic
+// batching wants from a socket.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <streambuf>
+
+namespace scol {
+
+class FdStreamBuf final : public std::streambuf {
+ public:
+  /// Borrows `fd` (never closes it).
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(ibuf_, ibuf_, ibuf_);
+    setp(obuf_, obuf_ + sizeof(obuf_));
+  }
+  ~FdStreamBuf() override { flush_out(); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, ibuf_, sizeof(ibuf_));
+    if (n <= 0) return traits_type::eof();
+    setg(ibuf_, ibuf_, ibuf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_out() < 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_out(); }
+
+ private:
+  int flush_out() {
+    const char* p = pbase();
+    std::size_t left = static_cast<std::size_t>(pptr() - pbase());
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n <= 0) return -1;
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    setp(obuf_, obuf_ + sizeof(obuf_));
+    return 0;
+  }
+
+  int fd_;
+  char ibuf_[1 << 16];
+  char obuf_[1 << 16];
+};
+
+}  // namespace scol

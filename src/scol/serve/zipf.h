@@ -1,0 +1,62 @@
+// Zipf-distributed index sampling for the load generator.
+//
+// Real request mixes are skewed: a few hot graphs absorb most traffic
+// and a long tail keeps the caches honest. scol-bench-load models that
+// with the classic Zipf law P(i) ∝ 1/(i+1)^theta over a fixed universe
+// of request keys — theta 0 is uniform (worst case for a cache), theta
+// ~1 is web-like skew, larger thetas approach a single hot key.
+//
+// Sampling is cumulative-table + binary search: O(n) setup, O(log n)
+// per draw, exact probabilities (no rejection loop), deterministic for
+// a given Rng state.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "scol/util/check.h"
+#include "scol/util/rng.h"
+
+namespace scol {
+
+class ZipfSampler {
+ public:
+  /// Distribution over {0, ..., n-1} with P(i) ∝ 1/(i+1)^theta.
+  /// Requires n >= 1 and theta >= 0.
+  ZipfSampler(std::size_t n, double theta) : cumulative_(n) {
+    SCOL_REQUIRE(n >= 1, + "ZipfSampler wants n >= 1");
+    SCOL_REQUIRE(theta >= 0.0, + "ZipfSampler wants theta >= 0");
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cumulative_[i] = total;
+    }
+    for (auto& c : cumulative_) c /= total;
+    cumulative_.back() = 1.0;  // guard against rounding at the far end
+  }
+
+  std::size_t draw(Rng& rng) const {
+    const double u = rng.real();
+    std::size_t lo = 0, hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  /// P(i), for tests.
+  double probability(std::size_t i) const {
+    SCOL_REQUIRE(i < cumulative_.size(), + "Zipf probability out of range");
+    return i == 0 ? cumulative_[0] : cumulative_[i] - cumulative_[i - 1];
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace scol

@@ -1,0 +1,12 @@
+// The library/CLI version, printed by every binary's --version flag.
+//
+// One definition shared by scol-cli, scol-serve, and scol-bench-load so
+// a deployment can verify that a daemon and its clients were built from
+// the same tree. Bumped once per PR in this repo's stacked sequence.
+#pragma once
+
+namespace scol {
+
+inline constexpr const char* kVersion = "0.7.0";
+
+}  // namespace scol

@@ -1,0 +1,112 @@
+// Process-level pinning of the three binaries' command-line contract:
+// --version strings, --help exit codes and content (the documented exit
+// conventions must actually be printed), and the usage-error exit code 2.
+// These run the real executables out of the build tree via popen; if a
+// binary has not been built (e.g. a library-only build), the test skips
+// rather than fails.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "scol/version.h"
+
+namespace scol {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult run(const std::string& command) {
+  RunResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf;
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    result.output.append(buf.data(), n);
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string binary(const std::string& name) {
+  return std::string(SCOL_BINARY_DIR) + "/" + name;
+}
+
+bool exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+#define SKIP_WITHOUT(bin)                                       \
+  if (!exists(bin)) GTEST_SKIP() << bin << " was not built"
+
+TEST(Cli, VersionStringsMatchTheLibrary) {
+  for (const std::string name :
+       {"scol-cli", "scol-serve", "scol-bench-load"}) {
+    const std::string bin = binary(name);
+    if (!exists(bin)) continue;  // per-binary: pin whatever was built
+    const RunResult r = run(bin + " --version");
+    EXPECT_EQ(r.exit_code, 0) << name;
+    EXPECT_EQ(r.output, name + " " + kVersion + "\n");
+  }
+  SKIP_WITHOUT(binary("scol-cli"));  // at least the main CLI must exist
+}
+
+TEST(Cli, HelpDocumentsExitCodesAndExitsZero) {
+  for (const std::string name :
+       {"scol-cli", "scol-serve", "scol-bench-load"}) {
+    const std::string bin = binary(name);
+    if (!exists(bin)) continue;
+    const RunResult r = run(bin + " --help");
+    EXPECT_EQ(r.exit_code, 0) << name;
+    EXPECT_NE(r.output.find("exit codes:"), std::string::npos) << name;
+    EXPECT_NE(r.output.find("--version"), std::string::npos) << name;
+  }
+  SKIP_WITHOUT(binary("scol-cli"));
+}
+
+TEST(Cli, UsageErrorsExitTwo) {
+  for (const std::string name :
+       {"scol-cli", "scol-serve", "scol-bench-load"}) {
+    const std::string bin = binary(name);
+    if (!exists(bin)) continue;
+    EXPECT_EQ(run(bin + " --no-such-flag").exit_code, 2) << name;
+  }
+  SKIP_WITHOUT(binary("scol-cli"));
+}
+
+TEST(Cli, OneShotAnswersAndFailuresMapToExitCodes) {
+  const std::string bin = binary("scol-cli");
+  SKIP_WITHOUT(bin);
+  // A colored answer and an infeasible answer are both exit 0.
+  EXPECT_EQ(run(bin + " --algo greedy --gen petersen").exit_code, 0);
+  EXPECT_EQ(
+      run(bin + " --algo exact --gen petersen --k 2").exit_code, 0);
+  // An unknown algorithm is a bad invocation: exit 2, like other usage
+  // errors (the report-level exit 1 is pinned by one_shot_exit_code's
+  // own tests against kFailed reports).
+  EXPECT_EQ(run(bin + " --algo no-such-algo").exit_code, 2);
+}
+
+TEST(Cli, ServePipeModeRoundTrips) {
+  const std::string bin = binary("scol-serve");
+  SKIP_WITHOUT(bin);
+  const RunResult r = run(
+      "printf '%s\\n' "
+      "'{\"id\":1,\"algo\":\"greedy\",\"gen\":\"petersen\"}' "
+      "'{\"id\":2,\"op\":\"shutdown\"}' | " +
+      bin);
+  EXPECT_EQ(r.exit_code, 0);  // clean shutdown
+  EXPECT_NE(r.output.find("\"id\":1,\"ok\":true"), std::string::npos);
+  EXPECT_NE(r.output.find("\"stopping\":true"), std::string::npos);
+  // EOF without a shutdown request is also a clean exit in pipe mode.
+  EXPECT_EQ(run("printf '' | " + bin).exit_code, 0);
+}
+
+}  // namespace
+}  // namespace scol

@@ -8,8 +8,18 @@ Campaign JSONL mode (one report per line, the `scol-cli campaign` stream):
     python3 tools/check_report.py --jsonl [--expect-oracle-clean] \
         [--expect-jobs N] < runs.jsonl
 
+Serve mode (the scol-serve NDJSON response stream, docs/SERVE.md):
+    scol-serve < requests.ndjson | python3 tools/check_report.py --serve \
+        [--expect-no-errors] [--min-hits N]
+
+Serve mode validates every envelope (solve / stats / shutdown / error)
+and recurses into each solve envelope's "report" with the single-report
+schema; served reports must additionally carry wall_ms == 0, the
+byte-stable mode the report cache depends on.
+
 Stdlib only (CI runs it without installing anything). Exits non-zero with
-a message naming every violation (line-numbered in --jsonl mode).
+a message naming every violation (line-numbered in --jsonl and --serve
+modes).
 """
 import argparse
 import json
@@ -140,6 +150,95 @@ def check_jsonl(stream, schema: dict, args) -> list[str]:
     return errors
 
 
+def check_serve(stream, schema: dict, args) -> list[str]:
+    errors = []
+    responses = 0
+    error_envelopes = 0
+    report_hits = 0
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            env = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {lineno}: not valid JSON: {e}")
+            continue
+        responses += 1
+
+        def bad(msg):
+            errors.append(f"line {lineno}: {msg}")
+
+        if not isinstance(env, dict):
+            bad("envelope is not an object")
+            continue
+        if not isinstance(env.get("ok"), bool):
+            bad("envelope without a boolean 'ok'")
+            continue
+        if "id" not in env:
+            bad("envelope without an 'id' echo")
+
+        if not env["ok"]:
+            error_envelopes += 1
+            if not isinstance(env.get("error"), str) or not env["error"]:
+                bad("error envelope without an 'error' message")
+            continue
+        if "stats" in env or "shutdown" in env:
+            payload = env.get("stats", env.get("shutdown"))
+            if not isinstance(payload, dict):
+                bad("control envelope payload is not an object")
+            elif "stats" in env:
+                for section in ("graphs", "reports", "server"):
+                    if not isinstance(payload.get(section), dict):
+                        bad(f"stats envelope without a '{section}' section")
+            continue
+
+        # A solve envelope: cache verdicts, telemetry, and a full report.
+        cache = env.get("cache")
+        if not isinstance(cache, dict):
+            bad("solve envelope without a 'cache' object")
+        else:
+            require_in = schema["serve_cache_verdicts"]
+            for key in ("graph", "report"):
+                if cache.get(key) not in require_in:
+                    bad(f"cache.{key} {cache.get(key)!r} not in {require_in}")
+            digest = cache.get("hash")
+            if not (isinstance(digest, str) and len(digest) == 32
+                    and all(c in "0123456789abcdef" for c in digest)):
+                bad("cache.hash is not 32 lowercase hex characters")
+            if cache.get("report") == "hit":
+                report_hits += 1
+        telemetry = env.get("telemetry")
+        if not isinstance(telemetry, dict):
+            bad("solve envelope without a 'telemetry' object")
+        else:
+            for key, kind in schema["serve_telemetry_required"].items():
+                if not KIND_CHECKS[kind](telemetry.get(key)):
+                    bad(f"telemetry.{key} is not a {kind}")
+        report = env.get("report")
+        if not isinstance(report, dict):
+            bad("solve envelope without a 'report' object")
+            continue
+        for e in check(report, schema):
+            bad(e)
+        if report.get("wall_ms") != 0:
+            bad("served report with non-zero wall_ms (must be untimed)")
+
+    if responses == 0:
+        errors.append("no serve responses parsed")
+    if args.expect_no_errors and error_envelopes:
+        errors.append(f"{error_envelopes} error envelope(s) "
+                      f"(--expect-no-errors)")
+    if args.min_hits is not None and report_hits < args.min_hits:
+        errors.append(
+            f"expected >= {args.min_hits} report-cache hits, got "
+            f"{report_hits}")
+    if not errors:
+        print(f"check_report: ok ({responses} serve responses, "
+              f"{report_hits} report hits, {error_envelopes} errors)")
+    return errors
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--expect-status", default=None,
@@ -147,6 +246,13 @@ def main() -> int:
     parser.add_argument("--jsonl", action="store_true",
                         help="validate a campaign JSONL stream instead of "
                              "one report")
+    parser.add_argument("--serve", action="store_true",
+                        help="validate a scol-serve NDJSON response stream")
+    parser.add_argument("--expect-no-errors", action="store_true",
+                        help="--serve: fail on any error envelope")
+    parser.add_argument("--min-hits", type=int, default=None,
+                        help="--serve: require at least this many "
+                             "report-cache hits")
     parser.add_argument("--expect-oracle-clean", action="store_true",
                         help="fail if any JSONL line has oracle.ok != true")
     parser.add_argument("--expect-jobs", type=int, default=None,
@@ -163,6 +269,12 @@ def main() -> int:
     args = parser.parse_args()
 
     schema = json.loads(pathlib.Path(args.schema).read_text())
+
+    if args.serve:
+        errors = check_serve(sys.stdin, schema, args)
+        for e in errors:
+            print(f"check_report: {e}", file=sys.stderr)
+        return 1 if errors else 0
 
     if args.jsonl:
         errors = check_jsonl(sys.stdin, schema, args)
