@@ -24,6 +24,12 @@
 //   --param key=val    per-algorithm parameter (repeatable)
 //   --seed S           scenario + algorithm seed (default 1)
 //   --threads T        run under a ThreadPoolExecutor with T threads
+//   --shards P         run under a ShardedExecutor with P CSR shards:
+//                      LOCAL rounds with counted boundary exchange;
+//                      results are bit-identical to serial, the report
+//                      gains the exchange telemetry metrics
+//   --no-exchange-metrics   suppress that telemetry (sharded output is
+//                      then byte-identical to the serial report)
 //   --round-budget R   RunContext round budget
 //   --deadline-ms D    RunContext wall-clock budget
 //   --no-validate      skip the independent output validation
@@ -43,6 +49,11 @@
 //   --algo-param NAME:key=val   per-algorithm param override (repeatable)
 //   --jobs N           thread pool over instances — one instance is all
 //                      algorithms on one generated graph (default 1)
+//   --shards P         every job solves under a P-shard ShardedExecutor;
+//                      each line gains a "shards" field + exchange
+//                      telemetry metrics (default 1 = serial)
+//   --no-exchange-metrics   suppress the telemetry: the stream is then
+//                      byte-identical to the serial stream for every P
 //   --shard i/m        run shard i of m (instances round-robin)
 //   --out FILE         JSONL to FILE, summary to stdout (default: JSONL to
 //                      stdout, summary to stderr)
@@ -89,7 +100,7 @@ const char* kUsage =
     "usage: scol-cli --algo NAME [--gen SPEC] [--k K] "
     "[--lists uniform|random] [--palette P]\n"
     "                [--param key=val]... [--seed S] "
-    "[--threads T] [--round-budget R]\n"
+    "[--threads T | --shards P] [--round-budget R]\n"
     "                [--deadline-ms D] [--no-validate] "
     "[--with-coloring] [--no-timing] [--pretty]\n"
     "       scol-cli campaign ... | scol-cli probe ...\n"
@@ -263,7 +274,9 @@ int probe_main(int argc, char** argv) {
                "[--lists uniform|random] [--palette P]\n"
                "                [--param key=val]... "
                "[--algo-param NAME:key=val]... [--round-budget R]\n"
-               "                [--jobs N] [--shard i/m] [--out FILE | "
+               "                [--jobs N] [--shards P] "
+               "[--no-exchange-metrics] [--shard i/m]\n"
+               "                [--out FILE | "
                "--summary-only] [--with-timing] [--no-probe]\n"
                "                [--planarity-limit N] [--girth-limit L] "
                "[--mad-limit N] [--pretty]\n";
@@ -334,6 +347,11 @@ int campaign_main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       jobs = std::atoi(need_value(i, "--jobs").c_str());
       ++i;
+    } else if (arg == "--shards") {
+      spec.exec_shards = std::atoi(need_value(i, "--shards").c_str());
+      ++i;
+    } else if (arg == "--no-exchange-metrics") {
+      spec.exchange_metrics = false;
     } else if (arg == "--shard") {
       const std::string v = need_value(i, "--shard");
       const std::size_t slash = v.find('/');
@@ -373,6 +391,7 @@ int campaign_main(int argc, char** argv) {
   if (spec.algorithms.empty())
     campaign_usage_error("--algo is required (name or 'all')");
   if (jobs < 1) campaign_usage_error("--jobs must be >= 1");
+  if (spec.exec_shards < 1) campaign_usage_error("--shards must be >= 1");
   if (summary_only && !out_path.empty())
     campaign_usage_error("--summary-only and --out are mutually exclusive");
 
@@ -475,6 +494,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       spec.threads = std::atoi(need_value(i, "--threads").c_str());
       ++i;
+    } else if (arg == "--shards") {
+      spec.shards = std::atoi(need_value(i, "--shards").c_str());
+      ++i;
+    } else if (arg == "--no-exchange-metrics") {
+      spec.exchange_metrics = false;
     } else if (arg == "--round-budget") {
       spec.round_budget =
           std::atoll(need_value(i, "--round-budget").c_str());
@@ -495,6 +519,9 @@ int main(int argc, char** argv) {
     }
   }
   if (spec.algorithm.empty()) usage_error("--algo is required");
+  if (spec.shards < 0) usage_error("--shards must be >= 1");
+  if (spec.threads > 0 && spec.shards > 0)
+    usage_error("--threads and --shards are mutually exclusive");
 
   try {
     const Json out = one_shot_report(spec);

@@ -23,6 +23,12 @@
 // Exit code: 0 after a clean shutdown (EOF on the pipe or a "shutdown"
 // request), 1 on a runtime failure (socket error, broken pipe), 2 on a
 // usage error.
+//
+// A client disconnecting mid-response is NOT a runtime failure: SIGPIPE
+// is ignored process-wide, so the write error surfaces as EPIPE and the
+// server treats it as that connection closing (docs/SERVE.md "Disconnect
+// and signal semantics").
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -49,6 +55,12 @@ const char* kUsage =
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A daemon must outlive its clients: without this, the first client
+  // that disconnects while we are mid-write kills the whole process with
+  // SIGPIPE. Ignored up front so both TCP connections and pipe-mode
+  // stdout report EPIPE through the stream layer instead.
+  std::signal(SIGPIPE, SIG_IGN);
+
   ServerOptions options;
   int port = -1;
 

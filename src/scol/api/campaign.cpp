@@ -13,6 +13,7 @@
 #include "scol/api/solve.h"
 #include "scol/graph/graph.h"
 #include "scol/io/probe.h"
+#include "scol/local/shard.h"
 #include "scol/serve/cache.h"
 
 namespace scol {
@@ -25,6 +26,7 @@ void validate_spec(const CampaignSpec& spec) {
   SCOL_REQUIRE(!spec.scenarios.empty(), + "campaign needs >= 1 scenario");
   SCOL_REQUIRE(!spec.algorithms.empty(), + "campaign needs >= 1 algorithm");
   SCOL_REQUIRE(spec.seeds >= 1, + "campaign needs seeds >= 1");
+  SCOL_REQUIRE(spec.exec_shards >= 1, + "campaign needs shards >= 1");
   SCOL_REQUIRE(spec.lists_mode == "uniform" || spec.lists_mode == "random",
                + ("lists_mode must be uniform or random, got '" +
                   spec.lists_mode + "'"));
@@ -121,7 +123,7 @@ void oracle_cross_check(std::vector<JobRun>& runs) {
 }
 
 Json job_line(const JobRun& run, const std::string& scenario_spec,
-              const Graph& g, bool include_timing) {
+              const Graph& g, bool include_timing, int shards_field) {
   Json line = to_json(run.report, /*include_coloring=*/false);
   if (run.skipped) {
     // Probe-filtered cell: the report shell is empty (no solve ran);
@@ -141,7 +143,11 @@ Json job_line(const JobRun& run, const std::string& scenario_spec,
   line.set("scenario", std::move(scenario));
   line.set("k", Json::integer(run.k_eff));
   line.set("seed", Json::integer(static_cast<std::int64_t>(run.job.seed)));
-  line.set("threads", Json::integer(0));  // jobs always solve serially
+  line.set("threads", Json::integer(0));  // jobs never use a nested pool
+  // Present only for telemetry-carrying sharded campaigns, so every
+  // pre-existing stream (and every telemetry-suppressed one) keeps its
+  // exact bytes.
+  if (shards_field > 1) line.set("shards", Json::integer(shards_field));
   line.set("job", Json::integer(static_cast<std::int64_t>(run.job.index)));
   line.set("instance",
            Json::integer(static_cast<std::int64_t>(run.job.instance)));
@@ -313,6 +319,17 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       // Lists shared across jobs with the same (k, palette): identical
       // assignments are what make the cross-job verdicts comparable.
       std::map<std::pair<Vertex, Color>, ListAssignment> lists_cache;
+      // Sharded intra-job execution: the plan depends on the graph, so the
+      // executor is per-instance. Sequential mode — instances are already
+      // fanned over the job executor; what p adds here is the partition,
+      // the counted exchange, and (optionally) its telemetry.
+      std::optional<ShardedExecutor> sharded_exec;
+      if (spec.exec_shards > 1 && graph != nullptr) {
+        ShardOptions shard_options;
+        shard_options.shards = spec.exec_shards;
+        shard_options.metrics = spec.exchange_metrics;
+        sharded_exec.emplace(*graph, shard_options);
+      }
       // Probed lazily: only when the filter is on AND some algorithm of
       // the axis actually registered a precondition.
       std::optional<GraphProbe> local_probe;
@@ -396,7 +413,8 @@ CampaignResult run_campaign(const CampaignSpec& spec,
           req.lists = lists;
         }
 
-        RunContext ctx;  // intra-job execution stays serial
+        RunContext ctx;  // single-threaded per job (sharded or serial)
+        ctx.executor = sharded_exec ? &*sharded_exec : nullptr;
         ctx.seed = seed;
         ctx.round_budget = spec.round_budget;
         ctx.arena = worker_arena;
@@ -425,7 +443,8 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         if (sink)
           out.lines.push_back(
               job_line(run, scenario_spec, graph != nullptr ? *graph : empty,
-                       options.include_timing)
+                       options.include_timing,
+                       spec.exchange_metrics ? spec.exec_shards : 0)
                   .dump());
         SlimStat stat;
         stat.status = run.report.status;
@@ -513,6 +532,9 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     probe_options.set("exact_mad_limit",
                       Json::integer(spec.probe_options.exact_mad_limit));
     campaign.set("probe_options", std::move(probe_options));
+    // Conditional so pre-sharding summaries keep their exact shape.
+    if (spec.exec_shards > 1)
+      campaign.set("shards", Json::integer(spec.exec_shards));
     summary.set("campaign", std::move(campaign));
   }
   {

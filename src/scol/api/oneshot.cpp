@@ -6,6 +6,7 @@
 #include "scol/api/request.h"
 #include "scol/api/scenario.h"
 #include "scol/api/solve.h"
+#include "scol/local/shard.h"
 #include "scol/util/check.h"
 #include "scol/util/rng.h"
 
@@ -86,11 +87,21 @@ Json one_shot_report(const OneShotSpec& spec) {
   Rng scenario_rng(spec.seed);
   const Graph g = build_scenario(spec.scenario, scenario_rng);
 
+  SCOL_REQUIRE(spec.threads <= 0 || spec.shards <= 0,
+               + "threads and shards are mutually exclusive executors");
   std::unique_ptr<ThreadPoolExecutor> pool;
+  std::unique_ptr<ShardedExecutor> sharded;
   const Executor* executor = nullptr;
   if (spec.threads > 0) {
     pool = std::make_unique<ThreadPoolExecutor>(spec.threads);
     executor = pool.get();
+  } else if (spec.shards > 0) {
+    ShardOptions options;
+    options.shards = spec.shards;
+    options.threaded = true;
+    options.metrics = spec.exchange_metrics;
+    sharded = std::make_unique<ShardedExecutor>(g, options);
+    executor = sharded.get();
   }
   return one_shot_report_on(g, spec, executor);
 }

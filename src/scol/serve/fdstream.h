@@ -13,6 +13,7 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstddef>
 #include <streambuf>
 
@@ -30,7 +31,12 @@ class FdStreamBuf final : public std::streambuf {
  protected:
   int_type underflow() override {
     if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    const ssize_t n = ::read(fd_, ibuf_, sizeof(ibuf_));
+    // EINTR is not end-of-stream: a signal (SIGCHLD, a profiler, a
+    // debugger attach) landing mid-read must not drop the connection.
+    ssize_t n;
+    do {
+      n = ::read(fd_, ibuf_, sizeof(ibuf_));
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) return traits_type::eof();
     setg(ibuf_, ibuf_, ibuf_ + n);
     return traits_type::to_int_type(*gptr());
@@ -53,7 +59,8 @@ class FdStreamBuf final : public std::streambuf {
     std::size_t left = static_cast<std::size_t>(pptr() - pbase());
     while (left > 0) {
       const ssize_t n = ::write(fd_, p, left);
-      if (n <= 0) return -1;
+      if (n < 0 && errno == EINTR) continue;  // interrupted, not failed
+      if (n <= 0) return -1;  // real error (EPIPE when the peer is gone)
       p += n;
       left -= static_cast<std::size_t>(n);
     }

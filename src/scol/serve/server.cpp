@@ -5,6 +5,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <csignal>
+
 #include <cerrno>
 #include <chrono>
 #include <iostream>
@@ -74,7 +76,11 @@ Server::Server(const ServerOptions& options)
 bool Server::serve_stream(std::istream& in, std::ostream& out) {
   std::vector<Pending> batch;
   std::string line;
-  while (std::getline(in, line)) {
+  // A failed `out` means the peer is gone (EPIPE on a socket, a closed
+  // pipe): stop reading — parsing and solving for a client that cannot
+  // receive answers is wasted work — and let the caller close. This is a
+  // clean per-connection exit, never a daemon error.
+  while (out && std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
 
     Pending p;
@@ -291,6 +297,12 @@ Json Server::stats_json() const {
 
 int Server::listen_and_serve(int port,
                              const std::function<void(int)>& on_listening) {
+  // A client that disconnects while a connection thread is mid-write
+  // must surface as an EPIPE write error (handled as a clean close in
+  // serve_stream), not as a process-killing SIGPIPE. Installed here as
+  // well as in the daemon's main() so in-process callers (tests,
+  // embedders) get the same protection.
+  ::signal(SIGPIPE, SIG_IGN);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     std::cerr << "scol-serve: socket() failed\n";

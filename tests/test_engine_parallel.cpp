@@ -8,6 +8,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "proptest.h"
+#include "scol/api/json.h"
 #include "scol/coloring/ert.h"
 #include "scol/coloring/kcoloring.h"
 #include "scol/coloring/randomized.h"
@@ -18,6 +20,7 @@
 #include "scol/gen/random.h"
 #include "scol/local/balls.h"
 #include "scol/local/engine.h"
+#include "scol/local/shard.h"
 #include "scol/local/validate.h"
 #include "scol/util/executor.h"
 #include "scol/util/thread_pool.h"
@@ -230,6 +233,231 @@ TEST(EngineParallel, ValidatorsReportIdenticalViolations) {
   }
   EXPECT_FALSE(serial_msg.empty());
   EXPECT_EQ(serial_msg, pool_msg);
+}
+
+// --- Sharded executor: partition structure -------------------------------
+
+TEST(ShardPlan, CutsCoverAndBoundariesMatchBruteForce) {
+  Rng rng(2053);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = gnm(200, 500, rng);
+    for (int p : {1, 2, 3, 5, 8}) {
+      ShardOptions options;
+      options.shards = p;
+      const ShardPlan plan = ShardPlan::build(g, options);
+      ASSERT_EQ(plan.shards, p);
+      ASSERT_EQ(static_cast<int>(plan.cuts.size()), p + 1);
+      EXPECT_EQ(plan.cuts.front(), 0);
+      EXPECT_EQ(plan.cuts.back(), g.num_vertices());
+      for (int s = 0; s < p; ++s) EXPECT_LE(plan.cuts[s], plan.cuts[s + 1]);
+      // owner() agrees with the ranges.
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        const int s = plan.owner(v);
+        EXPECT_GE(static_cast<std::int64_t>(v), plan.cuts[s]);
+        EXPECT_LT(static_cast<std::int64_t>(v), plan.cuts[s + 1]);
+      }
+      // Boundary lists, cut edges, and totals vs. brute force.
+      std::int64_t cut = 0, bvs = 0, pairs = 0;
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        const int s = plan.owner(v);
+        bool any = false;
+        std::vector<char> sends(static_cast<std::size_t>(p), 0);
+        for (const Vertex u : g.neighbors(v)) {
+          const int t = plan.owner(u);
+          if (t == s) continue;
+          any = true;
+          sends[static_cast<std::size_t>(t)] = 1;
+          if (u > v) ++cut;
+        }
+        if (any) ++bvs;
+        for (int t = 0; t < p; ++t) {
+          const auto& list =
+              plan.boundary[static_cast<std::size_t>(s) * p + t];
+          const bool listed =
+              std::find(list.begin(), list.end(), v) != list.end();
+          EXPECT_EQ(listed, sends[static_cast<std::size_t>(t)] != 0);
+          if (listed) ++pairs;
+        }
+      }
+      EXPECT_EQ(plan.cut_edges, cut);
+      EXPECT_EQ(plan.boundary_vertices, bvs);
+      EXPECT_EQ(plan.boundary_pairs, pairs);
+      // Boundary lists are sorted (posted in vertex order).
+      for (const auto& list : plan.boundary)
+        EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+    }
+  }
+}
+
+TEST(ShardPlan, EdgeCutHeuristicFindsABridge) {
+  // A K10 community followed by a path: the balanced range cut lands
+  // inside the clique (the clique holds most of the adjacency mass); the
+  // local search must slide it to the single bridge edge.
+  GraphBuilder b(30);
+  for (Vertex u = 0; u < 10; ++u)
+    for (Vertex v = u + 1; v < 10; ++v) b.add_edge(u, v);
+  for (Vertex v = 9; v + 1 < 30; ++v) b.add_edge(v, v + 1);
+  const Graph g = b.build();
+
+  ShardOptions range_options;
+  range_options.shards = 2;
+  const ShardPlan range_plan = ShardPlan::build(g, range_options);
+  ShardOptions edge_options = range_options;
+  edge_options.partition = ShardPartition::kEdgeCut;
+  const ShardPlan edge_plan = ShardPlan::build(g, edge_options);
+
+  EXPECT_GT(range_plan.cut_edges, 1);  // range cut splits the clique
+  EXPECT_EQ(edge_plan.cuts[1], 10);    // the bridge
+  EXPECT_EQ(edge_plan.cut_edges, 1);
+  EXPECT_EQ(edge_plan.boundary_vertices, 2);
+  EXPECT_LE(edge_plan.cut_edges, range_plan.cut_edges);
+}
+
+// --- Sharded executor: bit-identity and exchange accounting --------------
+
+TEST(ShardedExecutor, EngineBitIdenticalAcrossShardCountsAndModes) {
+  Rng rng(2057);
+  const Graph g = gnm(300, 700, rng);
+  RoundLedger serial_ledger;
+  const auto serial = flood_balls_engine(g, 3, &serial_ledger);
+  for (int p : {1, 2, 4, 8}) {
+    for (const bool threaded : {false, true}) {
+      ShardOptions options;
+      options.shards = p;
+      options.threaded = threaded;
+      ShardedExecutor sharded(g, options);
+      RoundLedger ledger;
+      const auto got = flood_balls_engine(g, 3, &ledger, &sharded);
+      EXPECT_EQ(serial, got) << "p=" << p << " threaded=" << threaded;
+      EXPECT_EQ(serial_ledger.total(), ledger.total());
+    }
+  }
+}
+
+TEST(ShardedExecutor, RandomizedColoringBitIdenticalAndModesAgree) {
+  Rng g_rng(2059);
+  const Graph g = random_regular(200, 4, g_rng);
+  const ListAssignment lists = uniform_lists(
+      g.num_vertices(), static_cast<Color>(g.max_degree() + 1));
+  Rng serial_rng(7);
+  const auto serial = randomized_list_coloring(g, lists, serial_rng);
+  for (int p : {2, 5}) {
+    ShardOptions options;
+    options.shards = p;
+    ShardedExecutor sequential(g, options);
+    options.threaded = true;
+    ShardedExecutor threaded(g, options);
+    Rng seq_rng(7), thr_rng(7);
+    const auto seq = randomized_list_coloring(g, lists, seq_rng, nullptr,
+                                              &sequential);
+    const auto thr = randomized_list_coloring(g, lists, thr_rng, nullptr,
+                                              &threaded);
+    EXPECT_EQ(serial.coloring, seq.coloring);
+    EXPECT_EQ(serial.rounds, seq.rounds);
+    EXPECT_EQ(seq.coloring, thr.coloring);
+    // The exchange profile is part of the determinism contract too: the
+    // sequential and the pool-backed drive of the same plan must count
+    // the same rounds, messages, and bytes.
+    const ExchangeStats a = sequential.stats();
+    const ExchangeStats b = threaded.stats();
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_GT(a.rounds, 0);
+  }
+}
+
+TEST(ShardedExecutor, ExchangeAccountingMatchesThePlan) {
+  Rng rng(2063);
+  const Graph g = gnm(250, 600, rng);
+  ShardOptions options;
+  options.shards = 4;
+  ShardedExecutor sharded(g, options);
+  std::vector<Vertex> init(static_cast<std::size_t>(g.num_vertices()), -1);
+  init[0] = 0;
+  const auto min_propagation = [](Vertex, const Vertex& self,
+                                  NeighborStates<Vertex> nb) {
+    Vertex best = self;
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const Vertex d = nb.state(i);
+      if (d >= 0 && (best < 0 || d + 1 < best)) best = d + 1;
+    }
+    return best;
+  };
+  run_synchronous(g, init, 5, min_propagation,
+                  EngineOptions{&sharded, nullptr, "engine"});
+  const ExchangeStats stats = sharded.stats();
+  const ShardPlan& plan = sharded.plan();
+  // Every full-width sweep is one BSP superstep; each superstep
+  // re-announces every boundary vertex to each neighboring shard, at
+  // (sizeof vertex + sizeof color) wire bytes per update.
+  EXPECT_GE(stats.rounds, 5);
+  EXPECT_EQ(stats.messages, stats.rounds * plan.boundary_pairs);
+  EXPECT_EQ(stats.bytes, stats.messages * ShardedExecutor::kBytesPerUpdate);
+  const auto per_round = sharded.per_round_messages(0, 1000);
+  ASSERT_EQ(static_cast<std::int64_t>(per_round.size()), stats.rounds);
+  std::int64_t sum = 0;
+  for (const std::int64_t m : per_round) sum += m;
+  EXPECT_EQ(sum, stats.messages);
+}
+
+// The tentpole property: sharded solve() reports are bit-for-bit the
+// serial reports — across shard counts, across eligible algorithms, and
+// on permuted-id twins of the instance (where serial-on-the-twin is the
+// oracle for sharded-on-the-twin). Telemetry is off so the whole report,
+// metrics bag included, must match byte-for-byte.
+TEST(ShardedExecutor, SolveMatchesSerialAcrossShardCountsAndPermutations) {
+  Rng rng(20260808);
+  const ParamBag params;  // cells needing explicit params drop out
+  const auto report_bytes = [](const ColoringRequest& req, std::uint64_t seed,
+                               const Executor* exec) {
+    RunContext ctx;
+    ctx.seed = seed;
+    ctx.executor = exec;
+    ctx.validate = true;
+    ColoringReport report = solve(req, ctx);
+    report.wall_ms = 0.0;  // the only nondeterministic field
+    return to_json(report, /*include_coloring=*/true).dump();
+  };
+  for (int trial = 0; trial < 4; ++trial) {
+    const proptest::Sample sample = proptest::random_graph(rng);
+    const Graph& g = sample.graph;
+    const GraphProbe probe = probe_graph(g, {});
+    const auto cells = proptest::eligible_cells(g, params, probe);
+    const std::vector<Vertex> perm =
+        proptest::random_permutation(g.num_vertices(), rng);
+    const Graph twin = permute(g, perm);
+    const std::uint64_t seed = 1 + rng.below(1000);
+    for (const proptest::EligibleCell& cell : cells) {
+      const ColoringRequest req = proptest::cell_request(cell, g);
+      const std::string serial = report_bytes(req, seed, nullptr);
+      for (int p : {2, 3, 7}) {
+        ShardOptions options;
+        options.shards = p;
+        options.metrics = false;
+        ShardedExecutor sharded(g, options);
+        EXPECT_EQ(serial, report_bytes(req, seed, &sharded))
+            << sample.description << " algo=" << cell.info->name
+            << " p=" << p;
+      }
+      // Permuted twin: same property on relabeled ids (the cuts land
+      // elsewhere, so this exercises genuinely different partitions).
+      ColoringRequest twin_req = req;
+      twin_req.graph = &twin;
+      ListAssignment twin_lists;
+      if (cell.info->caps.needs_lists) {
+        twin_lists = proptest::permuted_lists(cell.lists, perm);
+        twin_req.lists = &twin_lists;
+      }
+      const std::string twin_serial = report_bytes(twin_req, seed, nullptr);
+      ShardOptions options;
+      options.shards = 4;
+      options.metrics = false;
+      ShardedExecutor sharded(twin, options);
+      EXPECT_EQ(twin_serial, report_bytes(twin_req, seed, &sharded))
+          << sample.description << " (permuted) algo=" << cell.info->name;
+    }
+  }
 }
 
 TEST(RngStream, StreamsAreDeterministicAndDecorrelated) {

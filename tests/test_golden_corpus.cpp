@@ -50,11 +50,18 @@ std::string golden_path(const GoldenCase& c) {
 // The pinned sweep: one file scenario x the whole registry x 2 seeds.
 // File scenarios ignore their seed, so the two seed rows also pin that
 // instance caching keeps them identical.
-std::string run_sweep(const GoldenCase& c, const Executor* executor) {
+std::string run_sweep(const GoldenCase& c, const Executor* executor,
+                      int exec_shards = 1) {
   CampaignSpec spec;
   spec.scenarios = {std::string("file:path=") + SCOL_REPO_DIR + "/" + c.file};
   spec.algorithms = AlgorithmRegistry::instance().names();
   spec.seeds = 2;
+  spec.exec_shards = exec_shards;
+  // Exchange telemetry varies with the shard count by design; what must
+  // NOT vary is everything else, so the sharded sweeps compare with
+  // telemetry suppressed (the CI campaign-smoke cross-p `cmp` leg runs
+  // the same way).
+  spec.exchange_metrics = false;
   CampaignOptions options;
   options.executor = executor;
   std::ostringstream stream;
@@ -102,6 +109,26 @@ TEST(GoldenCorpus, PinnedSweepsAreByteIdentical) {
     EXPECT_FALSE(std::getline(actual_lines, al))
         << c.name << ": stream has extra lines beyond the golden corpus";
     EXPECT_EQ(actual, expected.str()) << c.name;
+  }
+}
+
+TEST(GoldenCorpus, ShardedExecutorReproducesTheCorpus) {
+  // The tentpole acceptance criterion: every job solved under a
+  // ShardedExecutor — LOCAL rounds over p CSR shards with counted
+  // boundary exchange — reproduces the pinned stream byte for byte for
+  // p in {1, 2, 4, 8}. The serial engine is the oracle; the partition,
+  // the channel hops, and the per-shard arenas must all be invisible to
+  // the reports.
+  if (std::getenv("SCOL_REGEN_GOLDEN") != nullptr) GTEST_SKIP();
+  for (const GoldenCase& c : kCases) {
+    std::ifstream in(golden_path(c), std::ios::binary);
+    ASSERT_TRUE(in.good()) << golden_path(c);
+    std::stringstream expected;
+    expected << in.rdbuf();
+    for (int p : {1, 2, 4, 8}) {
+      EXPECT_EQ(run_sweep(c, nullptr, p), expected.str())
+          << c.name << " under " << p << " shards";
+    }
   }
 }
 

@@ -7,10 +7,19 @@
 // under any worker count.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "scol/api/oneshot.h"
@@ -463,6 +472,101 @@ TEST(Server, ResponsesByteIdenticalToOneShot) {
     EXPECT_EQ(second.get("report")->dump(), expected);
     EXPECT_EQ(second.get("cache")->get("report")->as_str(), "hit");
   }
+}
+
+// --- TCP disconnect regression ----------------------------------------
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  SCOL_CHECK(fd >= 0, + "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  SCOL_CHECK(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) == 1,
+             + "inet_pton failed");
+  SCOL_CHECK(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+             + "connect() failed");
+  return fd;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0 && errno == EINTR) continue;
+    SCOL_CHECK(n > 0, + "write() to server failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string recv_until_close(int fd) {
+  std::string bytes;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return bytes;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Server, SurvivesClientDisconnectMidBatch) {
+  // The daemon-lifetime regression: a client that walks away while the
+  // server is mid-write must cost exactly one connection, never the
+  // process. Without SIGPIPE ignored, the first write into the dead
+  // socket kills this whole test binary; without the EPIPE-as-clean-close
+  // handling, the serving thread would keep grinding through the rest of
+  // the batch into a dead stream.
+  Server server(ServerOptions{});
+  int port = -1;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread daemon([&] {
+    server.listen_and_serve(0, [&](int p) {
+      std::lock_guard<std::mutex> lock(mu);
+      port = p;
+      cv.notify_one();
+    });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return port >= 0; });
+  }
+
+  // Client 1: pipeline a batch of requests with fat responses (full
+  // colorings on a 3600-vertex grid), then hang up without reading a
+  // byte. The responses overflow the socket send buffer, so the server's
+  // writes hit the dead connection for sure.
+  const int victim = connect_loopback(port);
+  std::string burst;
+  for (int i = 0; i < 16; ++i) {
+    burst += R"({"id":)" + std::to_string(i) +
+             R"(,"algo":"greedy","gen":"grid:rows=60,cols=60",)" +
+             R"("with_coloring":true})" + "\n";
+  }
+  send_all(victim, burst);
+  ::close(victim);  // mid-batch: no shutdown request, nothing read
+
+  // Client 2: the daemon must still answer a fresh connection with a
+  // valid response, then honor a shutdown request so the listener exits.
+  const int fd = connect_loopback(port);
+  send_all(fd,
+           "{\"id\":\"after\",\"algo\":\"greedy\",\"gen\":\"petersen\"}\n"
+           "{\"id\":\"bye\",\"op\":\"shutdown\"}\n");
+  ::shutdown(fd, SHUT_WR);
+  const std::string reply = recv_until_close(fd);
+  ::close(fd);
+  daemon.join();
+
+  std::istringstream lines(reply);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line)) << "no response after disconnect";
+  const Json solve = Json::parse(line);
+  EXPECT_EQ(solve.get("id")->as_str(), "after");
+  EXPECT_TRUE(solve.get("ok")->as_bool());
+  ASSERT_TRUE(std::getline(lines, line)) << "no shutdown acknowledgement";
+  EXPECT_TRUE(Json::parse(line).get("shutdown")->get("stopping")->as_bool());
 }
 
 // --- JSON parser (wire round-trips) -----------------------------------

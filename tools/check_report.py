@@ -83,6 +83,34 @@ def check(report: dict, schema: dict, campaign_line: bool = False
             errors.append("colored report with no colors used")
     if status == "failed" and not report.get("failure_reason"):
         errors.append("failed report without failure_reason")
+    # Sharded-executor telemetry: a run that reports metrics.shards must
+    # carry the whole exchange block, satisfy the wire-accounting
+    # invariant (8 bytes per boundary update: vertex id + color), and
+    # agree with the line-level "shards" field when both are present.
+    metrics = report.get("metrics")
+    if isinstance(metrics, dict) and "shards" in metrics:
+        require(metrics, schema["shard_metrics_required"], "metrics.")
+        counters = ("shards", "exchange_rounds", "exchange_messages",
+                    "exchange_bytes", "boundary_vertices", "cut_edges")
+        if all(isinstance(metrics.get(k), int) for k in counters):
+            if metrics["shards"] < 1:
+                errors.append(f"metrics.shards {metrics['shards']} < 1")
+            if any(metrics[k] < 0 for k in counters):
+                errors.append("negative shard exchange counter")
+            per_update = schema["shard_bytes_per_update"]
+            if metrics["exchange_bytes"] != \
+                    per_update * metrics["exchange_messages"]:
+                errors.append(
+                    f"exchange_bytes {metrics['exchange_bytes']} != "
+                    f"{per_update} * exchange_messages "
+                    f"{metrics['exchange_messages']}")
+            if metrics["shards"] == 1 and metrics["exchange_messages"] != 0:
+                errors.append("single-shard run exchanged messages")
+        if isinstance(report.get("shards"), int) \
+                and report["shards"] != metrics["shards"]:
+            errors.append(
+                f"line shards {report['shards']} != metrics.shards "
+                f"{metrics['shards']}")
     # "skipped" only exists on campaign lines (the probe filter); a
     # skipped line must say why, and a single-run report can never skip.
     if status == "skipped":
@@ -141,6 +169,22 @@ def check_jsonl(stream, schema: dict, args) -> list[str]:
         if failed:
             errors.append(f"{failed} line(s) with status 'failed' "
                           f"(--expect-no-failed)")
+    if args.expect_shards is not None:
+        # A telemetry-carrying sharded campaign stamps every line
+        # (skipped ones included) with the executor's shard count, and
+        # every line that actually solved must carry the exchange block
+        # (check() above validated its shape and invariants).
+        for lineno, r in enumerate(reports, start=1):
+            if r.get("shards") != args.expect_shards:
+                errors.append(
+                    f"line {lineno}: shards {r.get('shards')!r} != "
+                    f"{args.expect_shards} (--expect-shards)")
+            elif r.get("status") != "skipped" \
+                    and not isinstance(
+                        r.get("metrics", {}).get("shards"), int):
+                errors.append(
+                    f"line {lineno}: solved line without shard exchange "
+                    f"metrics (--expect-shards)")
     if not errors:
         colored = sum(1 for r in reports if r.get("status") == "colored")
         failed = sum(1 for r in reports if r.get("status") == "failed")
@@ -263,6 +307,10 @@ def main() -> int:
     parser.add_argument("--expect-no-failed", action="store_true",
                         help="fail if any JSONL line has status 'failed' "
                              "(probe-filtered grids answer every cell)")
+    parser.add_argument("--expect-shards", type=int, default=None,
+                        help="require every JSONL line to carry this "
+                             "sharded-executor count and every solved "
+                             "line its exchange telemetry")
     parser.add_argument("--schema",
                         default=pathlib.Path(__file__).parent /
                         "report_schema.json")
