@@ -4,9 +4,11 @@
 // instance.
 //
 // Metric: MB/s of text parsed (the readers are single-pass and
-// line-buffered, so throughput is tokenizer-bound) and probe wall time
-// split by component cost class (linear peel/BFS vs bounded
-// planarity/flow).
+// line-buffered, so throughput is tokenizer-bound), file-backed MB/s for
+// the streaming and mmap chunk-parallel readers (edge list and METIS,
+// the formats the parallel reader covers), and probe wall time split by
+// component cost class (linear peel/BFS vs bounded planarity/flow vs the
+// sampled mode web-scale campaigns run under a probe budget).
 //
 //   $ ./bench_io [n]      (default n = 20000 vertices, ~1.4n edges)
 //   $ ./bench_io --baseline-out=BENCH_io.json [--baseline-reps=N]
@@ -16,7 +18,10 @@
 // series; see bench/baseline.h and docs/BENCHMARKS.md.
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -106,6 +111,49 @@ int main(int argc, char** argv) {
     }
     if (print) table.print(std::cout);
 
+    // The file-backed readers on the formats the mmap parallel reader
+    // covers: threads=1 is the streaming line reader, threads=8 the
+    // mmap chunk-parallel path (both produce bit-identical graphs; the
+    // differential tests pin that, here it is just re-checked).
+    Table ptable({"format", "threads", "parse_ms", "parse_MB/s"});
+    for (const GraphFormat format :
+         {GraphFormat::kMetis, GraphFormat::kEdgeList}) {
+      const std::string path =
+          (std::filesystem::temp_directory_path() /
+           (std::string("bench_io_") + format_name(format) + ".tmp"))
+              .string();
+      {
+        std::ofstream out(path, std::ios::binary);
+        write_graph(out, g, format);
+      }
+      const double bytes =
+          static_cast<double>(std::filesystem::file_size(path));
+      for (const int threads : {1, 8}) {
+        ReadOptions options;
+        options.threads = threads;
+        const auto f0 = Clock::now();
+        const ReadResult fr = read_graph_file(path, format, options);
+        const double file_ms = ms_since(f0);
+        if (fr.graph.edges() != g.edges()) {
+          std::cerr << "bench_io: file round trip diverged for "
+                    << format_name(format) << " threads=" << threads
+                    << "\n";
+          return 1;
+        }
+        const double fmbps = bytes / 1e6 / (file_ms / 1e3);
+        samples[std::string("parse/") + format_name(format) +
+                (threads == 1 ? "/file/MBps" : "/par8/MBps")]
+            .push_back(fmbps);
+        if (print)
+          ptable.row(format_name(format), threads, file_ms, fmbps);
+      }
+      std::remove(path.c_str());
+    }
+    if (print) {
+      std::cout << "\nfile-backed readers (streaming vs mmap parallel):\n";
+      ptable.print(std::cout);
+    }
+
     // The probe, as the campaign pays it: once per instance. The linear
     // components always run; planarity and exact mad/arboricity only
     // below their limits (this instance is above the defaults).
@@ -134,6 +182,20 @@ int main(int argc, char** argv) {
       std::cout << "probe with exact mad/arboricity/planarity on n="
                 << deep_n << " (" << deep_ms << " ms): " << describe(deep)
                 << "\n";
+
+    // The sampled probe: what probe_graph costs on an instance far past
+    // the budget, where campaigns fall back to certified-but-weaker
+    // facts instead of linear scans (docs/DESIGN.md, web-scale
+    // ingestion).
+    ProbeOptions sampled_options;
+    sampled_options.budget = 4096;  // n + m is far above: sampled mode
+    const auto t2 = Clock::now();
+    const GraphProbe shallow = probe_graph(g, sampled_options);
+    const double shallow_ms = ms_since(t2);
+    samples["probe/sampled/ms"].push_back(shallow_ms);
+    if (print)
+      std::cout << "probe sampled at budget=4096 (" << shallow_ms
+                << " ms): " << describe(shallow) << "\n";
   }
 
   if (!baseline_out.empty()) {

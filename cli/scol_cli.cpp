@@ -8,6 +8,7 @@
 //   $ scol-cli --algo gps --gen planar:n=800 --pretty
 //   $ scol-cli --algo greedy --gen file:path=examples/graphs/grotzsch.col
 //   $ scol-cli probe --gen file:path=my.mtx       # structure + eligibility
+//   $ scol-cli gen --gen rmat:scale=20 --out big.edges   # materialize
 //   $ scol-cli --list-algos        # registry contents
 //   $ scol-cli --list-gens         # scenario vocabulary
 //   $ scol-cli campaign --gen grid --gen regular:n=64,d=4 --algo greedy
@@ -67,6 +68,8 @@
 //   --planarity-limit N / --girth-limit L / --mad-limit N
 //                      probe cost bounds (same flags as `scol-cli probe`,
 //                      so a probe dry run predicts the campaign's skips)
+//   --probe-budget B   sampled probes on instances with n + m > B
+//                      (certified-but-weaker facts; see io/probe.h)
 //
 // Probe mode (`scol-cli probe`):
 //   --gen SPEC         scenario to probe (generator or file:path=...)
@@ -75,7 +78,17 @@
 //   --param key=val    params visible to precondition checks (repeatable)
 //   --seed S           scenario seed (default 1)
 //   --planarity-limit N / --girth-limit L / --mad-limit N  probe bounds
+//   --probe-budget B   sampled mode above n + m > B (0 = always exact)
 //   Prints {scenario, probe, algorithms:[{name, eligible, reason?, k}]}.
+//
+// Gen mode (`scol-cli gen`):
+//   --gen SPEC         scenario to materialize (default grid)
+//   --seed S           scenario seed (default 1)
+//   --out FILE         output path (required; extension picks the format)
+//   --format F         override the format (dimacs|metis|mtx|edges)
+//   Writes the graph with scol's own writers and prints one JSON line
+//   {spec, seed, path, format, n, m} — the big-graph pipeline's first
+//   stage (gen -> parallel read -> probe -> solve).
 //
 // Exit code: 0 for a kColored/kInfeasible report (both are answers),
 // 1 for kFailed (or, in campaign mode, any oracle violation), 2 for
@@ -89,6 +102,7 @@
 
 #include "scol/api/api.h"
 #include "scol/api/oneshot.h"
+#include "scol/io/io.h"
 #include "scol/util/executor.h"
 #include "scol/version.h"
 
@@ -103,7 +117,7 @@ const char* kUsage =
     "[--threads T | --shards P] [--round-budget R]\n"
     "                [--deadline-ms D] [--no-validate] "
     "[--with-coloring] [--no-timing] [--pretty]\n"
-    "       scol-cli campaign ... | scol-cli probe ...\n"
+    "       scol-cli campaign ... | scol-cli probe ... | scol-cli gen ...\n"
     "       scol-cli --list-algos | --list-gens | --version | --help\n"
     "exit codes: 0 colored or infeasible (both are answers; campaign: "
     "no oracle violation),\n"
@@ -154,8 +168,72 @@ void list_scenarios() {
             << "usage: scol-cli probe [--gen SPEC] [--k K] [--seed S] "
                "[--param key=val]...\n"
                "                [--planarity-limit N] [--girth-limit L] "
-               "[--mad-limit N] [--pretty]\n";
+               "[--mad-limit N]\n"
+               "                [--probe-budget B] [--pretty]\n";
   std::exit(2);
+}
+
+[[noreturn]] void gen_usage_error(const std::string& message) {
+  std::cerr << "scol-cli gen: " << message << "\n"
+            << "usage: scol-cli gen [--gen SPEC] [--seed S] --out FILE "
+               "[--format dimacs|metis|mtx|edges]\n";
+  std::exit(2);
+}
+
+// `scol-cli gen ...`: materialize one scenario to a graph file — the
+// first stage of the big-graph pipeline (gen -> parallel read -> sampled
+// probe -> solve) and the generator half of the reader differential
+// tests.
+int gen_main(int argc, char** argv) {
+  std::string gen = "grid";
+  std::string out_path;
+  std::string format_arg = "auto";
+  std::uint64_t seed = 1;
+
+  const auto need_value = [&](int i, const char* flag) -> std::string {
+    if (i + 1 >= argc) gen_usage_error(std::string(flag) + " needs a value");
+    return argv[i + 1];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gen") {
+      gen = need_value(i, "--gen");
+      ++i;
+    } else if (arg == "--seed") {
+      seed = std::strtoull(need_value(i, "--seed").c_str(), nullptr, 10);
+      ++i;
+    } else if (arg == "--out") {
+      out_path = need_value(i, "--out");
+      ++i;
+    } else if (arg == "--format") {
+      format_arg = need_value(i, "--format");
+      ++i;
+    } else {
+      gen_usage_error("unknown flag '" + arg + "'");
+    }
+  }
+  if (out_path.empty()) gen_usage_error("--out is required");
+
+  try {
+    Rng rng(seed);
+    const Graph g = build_scenario(gen, rng);
+    GraphFormat format = parse_format(format_arg);
+    if (format == GraphFormat::kAuto) format = sniff_format(out_path, "");
+    write_graph_file(out_path, g, format);
+
+    Json out = Json::object();
+    out.set("spec", Json::str(gen));
+    out.set("seed", Json::integer(static_cast<std::int64_t>(seed)));
+    out.set("path", Json::str(out_path));
+    out.set("format", Json::str(format_name(format)));
+    out.set("n", Json::integer(g.num_vertices()));
+    out.set("m", Json::integer(g.num_edges()));
+    std::cout << out.dump(-1) << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "scol-cli gen: " << e.what() << "\n";
+    return 2;
+  }
 }
 
 // `scol-cli probe ...`: certified structure of one scenario's graph plus
@@ -200,6 +278,10 @@ int probe_main(int argc, char** argv) {
       probe_options.exact_mad_limit =
           std::atoi(need_value(i, "--mad-limit").c_str());
       ++i;
+    } else if (arg == "--probe-budget") {
+      probe_options.budget =
+          std::atoll(need_value(i, "--probe-budget").c_str());
+      ++i;
     } else if (arg == "--pretty") {
       pretty = true;
     } else {
@@ -225,6 +307,9 @@ int probe_main(int argc, char** argv) {
     pj.set("m", Json::integer(probe.m));
     pj.set("max_degree", Json::integer(probe.max_degree));
     pj.set("degeneracy", Json::integer(probe.degeneracy));
+    pj.set("degeneracy_exact", Json::boolean(probe.degeneracy_exact));
+    pj.set("degeneracy_lower", Json::integer(probe.degeneracy_lower));
+    pj.set("sampled", Json::boolean(probe.sampled));
     pj.set("mad_upper", Json::real(probe.mad_upper));
     pj.set("mad_exact", Json::boolean(probe.mad_exact));
     pj.set("arboricity_upper", Json::integer(probe.arboricity_upper));
@@ -279,7 +364,8 @@ int probe_main(int argc, char** argv) {
                "                [--out FILE | "
                "--summary-only] [--with-timing] [--no-probe]\n"
                "                [--planarity-limit N] [--girth-limit L] "
-               "[--mad-limit N] [--pretty]\n";
+               "[--mad-limit N]\n"
+               "                [--probe-budget B] [--pretty]\n";
   std::exit(2);
 }
 
@@ -381,6 +467,10 @@ int campaign_main(int argc, char** argv) {
       spec.probe_options.exact_mad_limit =
           std::atoi(need_value(i, "--mad-limit").c_str());
       ++i;
+    } else if (arg == "--probe-budget") {
+      spec.probe_options.budget =
+          std::atoll(need_value(i, "--probe-budget").c_str());
+      ++i;
     } else if (arg == "--pretty") {
       pretty = true;
     } else {
@@ -443,6 +533,8 @@ int main(int argc, char** argv) {
     return campaign_main(argc, argv);
   if (argc > 1 && std::string(argv[1]) == "probe")
     return probe_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "gen")
+    return gen_main(argc, argv);
   // The run itself is delegated to one_shot_report() — the same code
   // path scol-serve answers requests with, which is what makes served
   // responses byte-identical to this binary's output by construction.

@@ -531,6 +531,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                       Json::integer(spec.probe_options.girth_limit));
     probe_options.set("exact_mad_limit",
                       Json::integer(spec.probe_options.exact_mad_limit));
+    probe_options.set("budget", Json::integer(spec.probe_options.budget));
     campaign.set("probe_options", std::move(probe_options));
     // Conditional so pre-sharding summaries keep their exact shape.
     if (spec.exec_shards > 1)

@@ -6,6 +6,7 @@
 #include "scol/gen/lattice.h"
 #include "scol/gen/planar_random.h"
 #include "scol/gen/random.h"
+#include "scol/gen/scale.h"
 #include "scol/gen/special.h"
 #include "scol/io/io.h"
 
@@ -133,16 +134,45 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
   r.add({"grotzsch", "Grötzsch graph (triangle-free, chi = 4)", {},
          [](const ParamBag&, Rng&) { return grotzsch(); }});
 
+  // --- Web-scale synthetic families (gen/scale.h). ---
+  r.add({"rmat", "Graph500-style RMAT; scale=16 (n = 2^scale), "
+                 "edgefactor=16, a=0.57, b=0.19, c=0.19",
+         {"scale", "edgefactor", "a", "b", "c"},
+         [](const ParamBag& p, Rng& rng) {
+           return rmat(geti(p, "scale", 16), p.get_int("edgefactor", 16),
+                       p.get_real("a", 0.57), p.get_real("b", 0.19),
+                       p.get_real("c", 0.19), rng);
+         }});
+  r.add({"powerlaw", "power-law (Chung–Lu) graph with exactly m edges; "
+                     "n=65536, m=4n, alpha=2.5",
+         {"n", "m", "alpha"},
+         [](const ParamBag& p, Rng& rng) {
+           const Vertex n = geti(p, "n", 65536);
+           return powerlaw(n,
+                           p.get_int("m", 4 * static_cast<std::int64_t>(n)),
+                           p.get_real("alpha", 2.5), rng);
+         }});
+  r.add({"pref-attach", "preferential attachment (Barabási–Albert); "
+                        "n=65536, k=4 edges per new vertex",
+         {"n", "k"},
+         [](const ParamBag& p, Rng& rng) {
+           return pref_attach(geti(p, "n", 65536), geti(p, "k", 4), rng);
+         }});
+
   // --- Real-world files (io/). ---
   r.add({"file", "file-backed graph; path=... (required), format=auto "
-                 "(auto|dimacs|metis|mtx|edges); see docs/FORMATS.md",
-         {"path", "format"},
+                 "(auto|dimacs|metis|mtx|edges), threads=1 (parallel "
+                 "mmap reader; 0 = all cores); see docs/FORMATS.md",
+         {"path", "format", "threads"},
          [](const ParamBag& p, Rng&) {
            const std::string path = p.get_str("path", "");
            SCOL_REQUIRE(!path.empty(),
                         + "scenario 'file' needs a path=... param");
+           ReadOptions options;
+           options.threads = static_cast<int>(p.get_int("threads", 1));
            return read_graph_file(path,
-                                  parse_format(p.get_str("format", "auto")))
+                                  parse_format(p.get_str("format", "auto")),
+                                  options)
                .graph;
          }});
 }

@@ -1,0 +1,148 @@
+#include "scol/gen/scale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "scol/util/check.h"
+
+namespace scol {
+
+Graph rmat(Vertex scale, std::int64_t edgefactor, double a, double b,
+           double c, Rng& rng) {
+  SCOL_REQUIRE(scale >= 0 && scale <= 30,
+               + "rmat scale must be in [0, 30] (n = 2^scale, 32-bit ids)");
+  SCOL_REQUIRE(edgefactor >= 0, + "rmat edgefactor must be non-negative");
+  SCOL_REQUIRE(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0,
+               + "rmat quadrant probabilities must be non-negative with "
+                 "a + b + c <= 1");
+  const Vertex n = static_cast<Vertex>(Vertex{1} << scale);
+  const std::int64_t attempts = edgefactor * static_cast<std::int64_t>(n);
+  GraphBuilder builder(n);
+  builder.reserve(static_cast<std::size_t>(attempts));
+  const double ab = a + b;
+  const double abc = a + b + c;
+  for (std::int64_t i = 0; i < attempts; ++i) {
+    // Recursive quadrant descent: each level halves the adjacency
+    // matrix; (a, b, c, d) pick the quadrant. Every rng draw happens
+    // whether or not the attempt survives, so the stream position — and
+    // with it every later attempt — is a pure function of the seed.
+    Vertex u = 0;
+    Vertex v = 0;
+    for (Vertex level = 0; level < scale; ++level) {
+      const double r = rng.real();
+      u = static_cast<Vertex>(2 * u + (r >= ab ? 1 : 0));
+      v = static_cast<Vertex>(2 * v + (r >= a && r < ab ? 1 : r >= abc));
+    }
+    if (u == v) continue;  // self-attempt; dropped like io self-loops
+    builder.add_edge(u, v);
+  }
+  return builder.build();  // duplicate attempts merge in the counting sort
+}
+
+Graph powerlaw(Vertex n, std::int64_t m, double alpha, Rng& rng) {
+  SCOL_REQUIRE(n >= 0, + "powerlaw n must be non-negative");
+  SCOL_REQUIRE(m >= 0, + "powerlaw m must be non-negative");
+  SCOL_REQUIRE(alpha > 1.0, + "powerlaw alpha must exceed 1");
+  const std::int64_t max_m =
+      static_cast<std::int64_t>(n) * (static_cast<std::int64_t>(n) - 1) / 2;
+  SCOL_REQUIRE(m <= max_m,
+               + ("powerlaw m = " + std::to_string(m) +
+                  " exceeds the simple-graph maximum n*(n-1)/2 = " +
+                  std::to_string(max_m)));
+  // Chung–Lu expected-degree weights w_v = (n / (v + 1))^(1 / (alpha-1)):
+  // the resulting degree tail follows P[deg >= d] ~ d^(1 - alpha).
+  // Endpoints are drawn independently from the weight distribution via a
+  // prefix-sum + binary search.
+  std::vector<double> prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  const double exponent = 1.0 / (alpha - 1.0);
+  for (Vertex v = 0; v < n; ++v)
+    prefix[static_cast<std::size_t>(v) + 1] =
+        prefix[static_cast<std::size_t>(v)] +
+        std::pow(static_cast<double>(n) / static_cast<double>(v + 1),
+                 exponent);
+  const double total = prefix.back();
+  const auto draw = [&]() {
+    const double r = rng.real() * total;
+    const auto it = std::upper_bound(prefix.begin(), prefix.end(), r);
+    const auto idx = static_cast<Vertex>(
+        std::min<std::ptrdiff_t>(it - prefix.begin() - 1, n - 1));
+    return std::max<Vertex>(0, idx);
+  };
+  // Exactly m DISTINCT edges: rejection on self-loops and repeats. The
+  // attempt cap turns a near-infeasible request (m too close to what the
+  // skewed weights can reach) into a loud error instead of a hang.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  const std::int64_t attempt_cap = 64 * m + 4096;
+  std::int64_t tries = 0;
+  while (static_cast<std::int64_t>(edges.size()) < m) {
+    SCOL_REQUIRE(tries++ < attempt_cap,
+                 + ("powerlaw rejection budget exhausted: could not place " +
+                    std::to_string(m) + " distinct edges on " +
+                    std::to_string(n) +
+                    " vertices with alpha = " + std::to_string(alpha) +
+                    " (lower m or alpha)"));
+    const Vertex u = draw();
+    const Vertex v = draw();
+    if (u == v) continue;
+    const Vertex lo = std::min(u, v);
+    const Vertex hi = std::max(u, v);
+    const std::uint64_t key = static_cast<std::uint64_t>(lo) *
+                                  static_cast<std::uint64_t>(n) +
+                              static_cast<std::uint64_t>(hi);
+    if (!seen.insert(key).second) continue;
+    edges.emplace_back(lo, hi);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph pref_attach(Vertex n, Vertex k, Rng& rng) {
+  SCOL_REQUIRE(n >= 0, + "pref-attach n must be non-negative");
+  SCOL_REQUIRE(k >= 1 && k < std::max<Vertex>(n, 2),
+               + "pref-attach needs 1 <= k < n");
+  // `stubs` holds every edge endpoint, so a uniform draw from it IS the
+  // degree-proportional draw.
+  const std::size_t total_edges =
+      static_cast<std::size_t>(k) * (static_cast<std::size_t>(k) - 1) / 2 +
+      static_cast<std::size_t>(std::max<Vertex>(0, n - k)) *
+          static_cast<std::size_t>(k);
+  std::vector<Vertex> stubs;
+  stubs.reserve(2 * total_edges);
+  std::vector<Edge> edges;
+  edges.reserve(total_edges);
+  for (Vertex u = 0; u < std::min(k, n); ++u)
+    for (Vertex v = 0; v < u; ++v) {
+      edges.emplace_back(v, u);
+      stubs.push_back(u);
+      stubs.push_back(v);
+    }
+  std::vector<Vertex> chosen;
+  for (Vertex v = k; v < n; ++v) {
+    chosen.clear();
+    // k distinct degree-proportional targets; v has at least k
+    // predecessors, so the redraw loop always terminates.
+    while (static_cast<Vertex>(chosen.size()) < k) {
+      // k = 1 starts with an edgeless (single-vertex) seed; the first
+      // attachment has no stubs yet and picks uniformly.
+      const Vertex t = stubs.empty()
+                           ? static_cast<Vertex>(rng.below(
+                                 static_cast<std::uint64_t>(v)))
+                           : stubs[rng.below(stubs.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) != chosen.end())
+        continue;
+      chosen.push_back(t);
+    }
+    for (const Vertex t : chosen) {
+      edges.emplace_back(std::min(t, v), std::max(t, v));
+      stubs.push_back(v);
+      stubs.push_back(t);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace scol

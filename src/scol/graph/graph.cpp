@@ -72,7 +72,9 @@ Graph Graph::from_edges(Vertex n, const std::vector<Edge>& edges) {
 Graph Graph::from_csr(Vertex n, std::vector<std::int64_t> offsets,
                       std::vector<Vertex> adj) {
   SCOL_REQUIRE(n >= 0);
-  SCOL_REQUIRE(static_cast<Vertex>(offsets.size()) == n + 1 &&
+  // Compare sizes in size_t: `n + 1` overflows Vertex at the 32-bit id
+  // limit (n = 2^31 - 1), which the io capability lift must support.
+  SCOL_REQUIRE(offsets.size() == static_cast<std::size_t>(n) + 1 &&
                    offsets.front() == 0 &&
                    offsets.back() == static_cast<std::int64_t>(adj.size()),
                + "CSR offsets shape");

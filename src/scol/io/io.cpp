@@ -2,64 +2,36 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <limits>
-#include <map>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "scol/io/reader_detail.h"
 #include "scol/util/check.h"
 
 namespace scol {
 namespace {
 
-// --- Position-carrying errors. -------------------------------------------
-//
-// Every reader failure goes through fail_at so the message always looks
-// like "name:line:col: what" — the contract docs/FORMATS.md catalogs and
-// tests/test_io.cpp asserts. Lines and columns are 1-based; column 1 with
-// line 0 means "before the first line" (an empty file).
-
-[[noreturn]] void fail_at(const std::string& name, std::size_t line,
-                          std::size_t col, const std::string& what) {
-  throw PreconditionError(name + ":" + std::to_string(line) + ":" +
-                          std::to_string(col) + ": " + what);
-}
-
-// One whitespace-separated token and where it started (1-based column).
-struct Token {
-  std::string text;
-  std::size_t col = 0;
-};
-
-std::vector<Token> tokenize(const std::string& line) {
-  std::vector<Token> out;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[i])))
-      ++i;
-    if (i >= line.size()) break;
-    const std::size_t start = i;
-    while (i < line.size() &&
-           !std::isspace(static_cast<unsigned char>(line[i])))
-      ++i;
-    out.push_back({line.substr(start, i - start), start + 1});
-  }
-  return out;
-}
+using io_detail::EdgeAccumulator;
+using io_detail::Token;
+using io_detail::fail_at;
+using io_detail::str;
 
 // Line-buffered single-pass reader: getline + CRLF stripping + the
-// position state every error message needs.
+// position state every error message needs. Satisfies the io_detail
+// context contract (lineno + fail), so every parse helper in
+// reader_detail.h works on it unchanged.
 struct LineReader {
   std::istream& in;
   const std::string& name;
   std::string line = {};
   std::size_t lineno = 0;
+  std::vector<Token> toks = {};  // reused per line by tokenize()
 
   bool next() {
     if (!std::getline(in, line)) return false;
@@ -68,127 +40,17 @@ struct LineReader {
     return true;
   }
 
+  // Tokenizes the current line into the reused buffer.
+  const std::vector<Token>& tokens() {
+    io_detail::tokenize(line, toks);
+    return toks;
+  }
+
   [[noreturn]] void fail(std::size_t col, const std::string& what) const {
     fail_at(name, lineno, col, what);
   }
   [[noreturn]] void fail_eof(const std::string& what) const {
     fail_at(name, lineno + 1, 1, what);
-  }
-};
-
-std::int64_t parse_int64(const LineReader& r, const Token& tok,
-                         const char* what) {
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(tok.text.c_str(), &end, 10);
-  if (end != tok.text.c_str() + tok.text.size() || tok.text.empty() ||
-      errno == ERANGE)
-    r.fail(tok.col, std::string("expected an integer ") + what + ", got '" +
-                        tok.text + "'");
-  return static_cast<std::int64_t>(v);
-}
-
-// Weights are validated (a stray word is a malformed file) but never
-// used, so any numeric token -- "3", "0.5", "1e-3" -- is acceptable.
-void parse_numeric(const LineReader& r, const Token& tok,
-                   const char* what) {
-  errno = 0;
-  char* end = nullptr;
-  (void)std::strtod(tok.text.c_str(), &end);
-  if (end != tok.text.c_str() + tok.text.size() || tok.text.empty())
-    r.fail(tok.col, std::string("expected a numeric ") + what + ", got '" +
-                        tok.text + "'");
-}
-
-std::int64_t parse_count(const LineReader& r, const Token& tok,
-                         const char* what) {
-  const std::int64_t v = parse_int64(r, tok, what);
-  if (v < 0)
-    r.fail(tok.col, std::string(what) + " must be non-negative, got '" +
-                        tok.text + "'");
-  return v;
-}
-
-// Vertex ids are 32-bit; a declared vertex count past that cannot be
-// represented and must fail loudly, not wrap into a small wrong graph.
-std::int64_t parse_vertex_count(const LineReader& r, const Token& tok) {
-  const std::int64_t v = parse_count(r, tok, "vertex count");
-  if (v > std::numeric_limits<Vertex>::max())
-    r.fail(tok.col, "vertex count " + tok.text + " exceeds the supported "
-                    "maximum of " +
-                        std::to_string(std::numeric_limits<Vertex>::max()));
-  return v;
-}
-
-// --- Shared edge accumulation. -------------------------------------------
-//
-// Formats with a declared vertex count (DIMACS, METIS, Matrix Market)
-// collect raw ids first and resolve 0- vs 1-based indexing once the whole
-// file is seen: a file is 0-based iff it uses id 0, 1-based iff it uses
-// id n. Using both is unresolvable and is reported with the lines where
-// each extreme first appeared. Self-loops and duplicate edges are
-// dropped and counted, never errors — real benchmark files contain both.
-struct EdgeAccumulator {
-  std::int64_t n = 0;
-  std::vector<Edge> edges;          // raw, pre-index-resolution
-  std::int64_t self_loops = 0;
-  std::size_t first_zero_line = 0;  // line where id 0 first appeared
-  std::size_t first_n_line = 0;     // line where id n first appeared
-
-  // `lo` is the smallest id this format ever allows (0 for the
-  // auto-detecting formats, 1 for Matrix Market which is firmly 1-based).
-  void add(const LineReader& r, const Token& ut, const Token& vt,
-           std::int64_t lo) {
-    const std::int64_t u = parse_int64(r, ut, "vertex id");
-    const std::int64_t v = parse_int64(r, vt, "vertex id");
-    check_range(r, u, ut, lo);
-    check_range(r, v, vt, lo);
-    edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
-  }
-
-  void check_range(const LineReader& r, std::int64_t id, const Token& tok,
-                   std::int64_t lo) {
-    if (id < lo || id > n)
-      r.fail(tok.col, "vertex id " + tok.text + " out of range [" +
-                          std::to_string(lo) + ", " + std::to_string(n) +
-                          "] for " + std::to_string(n) + " vertices");
-    if (id == 0 && first_zero_line == 0) first_zero_line = r.lineno;
-    if (id == n && first_n_line == 0) first_n_line = r.lineno;
-  }
-
-  // Decides indexing, shifts, dedups, builds. Fills stats.
-  Graph finish(const std::string& name, ReadStats& stats) {
-    bool zero_based = first_zero_line != 0;
-    if (zero_based && first_n_line != 0)
-      fail_at(name, first_n_line, 1,
-              "file mixes 0-based and 1-based vertex ids (id 0 first seen "
-              "on line " +
-                  std::to_string(first_zero_line) + ", id " +
-                  std::to_string(n) + " on line " +
-                  std::to_string(first_n_line) + ")");
-    stats.zero_indexed = zero_based;
-    const Vertex shift = zero_based ? 0 : 1;
-    // Shift straight into the builder (add_edge normalizes orientation);
-    // it merges duplicates during its counting-sort CSR fill, so the
-    // merged count is the duplicate tally — no intermediate edge vector,
-    // no global sort.
-    GraphBuilder b(static_cast<Vertex>(n));
-    b.reserve(edges.size());
-    std::int64_t kept = 0;
-    for (auto [u, v] : edges) {
-      u = static_cast<Vertex>(u - shift);
-      v = static_cast<Vertex>(v - shift);
-      if (u == v) {
-        ++self_loops;
-        continue;
-      }
-      b.add_edge(u, v);
-      ++kept;
-    }
-    Graph g = b.build();
-    stats.duplicate_edges = kept - g.num_edges();
-    stats.self_loops = self_loops;
-    return g;
   }
 };
 
@@ -203,9 +65,9 @@ ReadResult read_dimacs(LineReader& r) {
 
   while (r.next()) {
     if (r.line.empty()) continue;
-    const std::vector<Token> toks = tokenize(r.line);
+    const std::vector<Token>& toks = r.tokens();
     if (toks.empty()) continue;
-    const std::string& kind = toks[0].text;
+    const std::string_view kind = toks[0].text;
     if (kind == "c") {
       ++out.stats.comment_lines;
     } else if (kind == "p") {
@@ -218,10 +80,10 @@ ReadResult read_dimacs(LineReader& r) {
                    std::to_string(toks.size()) + " token(s)");
       if (toks[1].text != "edge" && toks[1].text != "edges" &&
           toks[1].text != "col")
-        r.fail(toks[1].col, "unknown problem type '" + toks[1].text +
+        r.fail(toks[1].col, "unknown problem type '" + str(toks[1].text) +
                                 "' (expected 'edge')");
-      acc.n = parse_vertex_count(r, toks[2]);
-      declared_m = parse_count(r, toks[3], "edge count");
+      acc.n = io_detail::parse_vertex_count(r, toks[2]);
+      declared_m = io_detail::parse_edge_count(r, toks[3]);
       have_problem = true;
     } else if (kind == "e") {
       if (!have_problem)
@@ -231,7 +93,7 @@ ReadResult read_dimacs(LineReader& r) {
                                 std::to_string(toks.size()) + " token(s)");
       acc.add(r, toks[1], toks[2], 0);
     } else {
-      r.fail(toks[0].col, "unknown DIMACS line type '" + kind +
+      r.fail(toks[0].col, "unknown DIMACS line type '" + str(kind) +
                               "' (expected 'c', 'p', or 'e')");
     }
   }
@@ -260,33 +122,15 @@ ReadResult read_metis(LineReader& r) {
       ++out.stats.comment_lines;
       continue;
     }
-    header = tokenize(r.line);
+    header = r.tokens();
     if (!header.empty()) break;
   }
   if (header.empty())
     r.fail_eof("file ends before the '<vertices> <edges> [fmt]' header");
-  if (header.size() < 2 || header.size() > 4)
-    r.fail(header[0].col,
-           "header must be '<vertices> <edges> [fmt [ncon]]', got " +
-               std::to_string(header.size()) + " token(s)");
+  const io_detail::MetisHeader h =
+      io_detail::parse_metis_header_tokens(r, header);
   EdgeAccumulator acc;
-  acc.n = parse_vertex_count(r, header[0]);
-  const std::int64_t declared_m = parse_count(r, header[1], "edge count");
-  std::int64_t fmt = 0;
-  if (header.size() >= 3) fmt = parse_count(r, header[2], "fmt code");
-  if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11 && fmt != 100 &&
-      fmt != 101 && fmt != 110 && fmt != 111)
-    r.fail(header[2].col, "fmt code must be a 3-digit binary flag "
-                          "(000..111), got '" + header[2].text + "'");
-  const bool edge_weights = fmt % 10 != 0;
-  const bool vertex_weights = (fmt / 10) % 10 != 0;
-  const bool vertex_sizes = (fmt / 100) % 10 != 0;
-  std::int64_t ncon = vertex_weights ? 1 : 0;
-  if (header.size() == 4) {
-    ncon = parse_count(r, header[3], "ncon");
-    if (!vertex_weights && ncon != 0)
-      r.fail(header[3].col, "ncon given but fmt declares no vertex weights");
-  }
+  acc.n = h.n;
 
   // One adjacency line per vertex (blank = isolated); % comments anywhere.
   std::int64_t vertex = 0;
@@ -300,32 +144,8 @@ ReadResult read_metis(LineReader& r) {
       ++out.stats.comment_lines;
       continue;
     }
-    const std::vector<Token> toks = tokenize(r.line);
-    std::size_t i = 0;
-    if (vertex_sizes) ++i;                          // skip the size token
-    i += static_cast<std::size_t>(ncon);            // skip vertex weights
-    if (i > toks.size())
-      r.fail(1, "adjacency line has " + std::to_string(toks.size()) +
-                    " token(s) but fmt=" + std::to_string(fmt) +
-                    " requires " + std::to_string(i) +
-                    " leading weight token(s)");
-    const std::size_t step = edge_weights ? 2 : 1;
-    if (edge_weights && (toks.size() - i) % 2 != 0)
-      r.fail(toks.back().col, "fmt declares edge weights but a neighbor id "
-                              "has no weight token after it");
-    // Record this line's neighbors; the other endpoint is the line index,
-    // so indexing resolution must treat both the same way. METIS ids are
-    // canonically 1-based; we defer like DIMACS and shift the line index
-    // to match in finish() via a placeholder token.
-    for (; i < toks.size(); i += step) {
-      const std::int64_t w = parse_int64(r, toks[i], "neighbor id");
-      acc.check_range(r, w, toks[i], 0);
-      // Store (line vertex, neighbor) with the line vertex kept 0-based
-      // for now and marked by n+1 offset trick -- see below.
-      acc.edges.emplace_back(static_cast<Vertex>(vertex),
-                             static_cast<Vertex>(w));
-      ++entries;
-    }
+    entries += io_detail::parse_metis_line(r, r.tokens(), h,
+                                           static_cast<Vertex>(vertex), acc);
     ++vertex;
   }
   while (r.next()) {
@@ -333,67 +153,19 @@ ReadResult read_metis(LineReader& r) {
       ++out.stats.comment_lines;
       continue;
     }
-    if (!tokenize(r.line).empty())
+    if (!r.tokens().empty())
       r.fail(1, "data after the last of the " + std::to_string(acc.n) +
                     " declared adjacency lines");
   }
-  if (entries != 2 * declared_m)
-    r.fail_eof("header declared " + std::to_string(declared_m) +
-               " edges (" + std::to_string(2 * declared_m) +
+  if (entries != 2 * h.declared_m)
+    r.fail_eof("header declared " + std::to_string(h.declared_m) +
+               " edges (" + std::to_string(2 * h.declared_m) +
                " adjacency entries; each edge appears twice) but the "
                "lists contain " + std::to_string(entries) + " entries");
   out.stats.declared_n = acc.n;
-  out.stats.declared_m = declared_m;
+  out.stats.declared_m = h.declared_m;
   out.stats.edge_records = entries;
-
-  // Resolve indexing on the neighbor ids only (the first element of each
-  // stored pair is the 0-based line index): 1-based unless some neighbor
-  // is 0.
-  const bool zero_based = acc.first_zero_line != 0;
-  if (zero_based && acc.first_n_line != 0)
-    fail_at(r.name, acc.first_n_line, 1,
-            "file mixes 0-based and 1-based neighbor ids (id 0 first seen "
-            "on line " + std::to_string(acc.first_zero_line) + ", id " +
-                std::to_string(acc.n) + " on line " +
-                std::to_string(acc.first_n_line) + ")");
-  out.stats.zero_indexed = zero_based;
-  const Vertex shift = zero_based ? 0 : 1;
-  std::vector<Edge> directed;
-  directed.reserve(acc.edges.size());
-  std::int64_t self_loops = 0;
-  for (const auto& [u, w] : acc.edges) {
-    const Vertex v = static_cast<Vertex>(w - shift);
-    if (u == v) {
-      ++self_loops;
-      continue;
-    }
-    directed.emplace_back(u, v);
-  }
-  std::sort(directed.begin(), directed.end());
-  // An undirected edge must be listed once from EACH endpoint. Extra
-  // same-direction listings are duplicates; a missing mirror listing is
-  // an asymmetry — both tolerated, both counted (never silent).
-  std::vector<Edge> clean;
-  for (std::size_t i = 0; i < directed.size();) {
-    std::size_t j = i;
-    while (j < directed.size() && directed[j] == directed[i]) ++j;
-    out.stats.duplicate_edges += static_cast<std::int64_t>(j - i) - 1;
-    const auto [u, v] = directed[i];
-    const bool mirrored =
-        std::binary_search(directed.begin(), directed.end(), Edge{v, u});
-    if (u < v) {
-      clean.emplace_back(u, v);
-      if (!mirrored) ++out.stats.asymmetric_edges;
-    } else if (!mirrored) {
-      clean.emplace_back(v, u);
-      ++out.stats.asymmetric_edges;
-    }
-    i = j;
-  }
-  // `clean` is duplicate-free by construction (one entry per undirected
-  // edge) and from_edges no longer needs sorted input.
-  out.stats.self_loops = self_loops;
-  out.graph = Graph::from_edges(static_cast<Vertex>(acc.n), clean);
+  out.graph = io_detail::finish_metis(r.name, acc, out.stats);
   return out;
 }
 
@@ -403,24 +175,25 @@ ReadResult read_matrix_market(LineReader& r) {
   ReadResult out;
   out.stats.format = GraphFormat::kMatrixMarket;
   if (!r.next()) r.fail_eof("empty file (expected a %%MatrixMarket header)");
-  std::vector<Token> head = tokenize(r.line);
+  std::vector<Token> head = r.tokens();
   if (head.empty() || head[0].text != "%%MatrixMarket")
     r.fail(1, "first line must start with '%%MatrixMarket', got '" +
-                  (head.empty() ? std::string() : head[0].text) + "'");
+                  (head.empty() ? std::string() : str(head[0].text)) + "'");
   if (head.size() != 5)
     r.fail(head[0].col,
            "header must be '%%MatrixMarket matrix coordinate <field> "
            "<symmetry>', got " + std::to_string(head.size()) + " token(s)");
-  auto lower = [](std::string s) {
+  auto lower = [](std::string_view sv) {
+    std::string s(sv);
     for (char& c : s) c = static_cast<char>(std::tolower(
         static_cast<unsigned char>(c)));
     return s;
   };
   if (lower(head[1].text) != "matrix")
-    r.fail(head[1].col, "unsupported object '" + head[1].text +
+    r.fail(head[1].col, "unsupported object '" + str(head[1].text) +
                             "' (only 'matrix')");
   if (lower(head[2].text) != "coordinate")
-    r.fail(head[2].col, "unsupported format '" + head[2].text +
+    r.fail(head[2].col, "unsupported format '" + str(head[2].text) +
                             "' (only sparse 'coordinate'; dense 'array' "
                             "matrices are not graphs)");
   const std::string field = lower(head[3].text);
@@ -430,13 +203,13 @@ ReadResult read_matrix_market(LineReader& r) {
     value_tokens = 1;
   else if (field == "complex") value_tokens = 2;
   else
-    r.fail(head[3].col, "unknown field '" + head[3].text +
+    r.fail(head[3].col, "unknown field '" + str(head[3].text) +
                             "' (expected pattern, real, integer, or "
                             "complex)");
   const std::string symmetry = lower(head[4].text);
   if (symmetry != "general" && symmetry != "symmetric" &&
       symmetry != "skew-symmetric" && symmetry != "hermitian")
-    r.fail(head[4].col, "unknown symmetry '" + head[4].text +
+    r.fail(head[4].col, "unknown symmetry '" + str(head[4].text) +
                             "' (expected general, symmetric, "
                             "skew-symmetric, or hermitian)");
 
@@ -447,7 +220,7 @@ ReadResult read_matrix_market(LineReader& r) {
       ++out.stats.comment_lines;
       continue;
     }
-    size = tokenize(r.line);
+    size = r.tokens();
     if (!size.empty()) break;
   }
   if (size.empty())
@@ -455,9 +228,10 @@ ReadResult read_matrix_market(LineReader& r) {
   if (size.size() != 3)
     r.fail(size[0].col, "size line must be '<rows> <cols> <entries>', got " +
                             std::to_string(size.size()) + " token(s)");
-  const std::int64_t rows = parse_vertex_count(r, size[0]);
-  const std::int64_t cols = parse_count(r, size[1], "column count");
-  const std::int64_t nnz = parse_count(r, size[2], "entry count");
+  const std::int64_t rows = io_detail::parse_vertex_count(r, size[0]);
+  const std::int64_t cols = io_detail::parse_count(r, size[1],
+                                                   "column count");
+  const std::int64_t nnz = io_detail::parse_count(r, size[2], "entry count");
   if (rows != cols)
     r.fail(size[1].col, "adjacency matrix must be square, got " +
                             std::to_string(rows) + "x" +
@@ -475,7 +249,7 @@ ReadResult read_matrix_market(LineReader& r) {
       ++out.stats.comment_lines;
       continue;
     }
-    const std::vector<Token> toks = tokenize(r.line);
+    const std::vector<Token>& toks = r.tokens();
     if (toks.empty()) continue;
     if (toks.size() != 2 + value_tokens)
       r.fail(toks[0].col, "entry must be '<row> <col>" +
@@ -491,7 +265,7 @@ ReadResult read_matrix_market(LineReader& r) {
       ++out.stats.comment_lines;
       continue;
     }
-    if (!tokenize(r.line).empty())
+    if (!r.tokens().empty())
       r.fail(1, "size line declared " + std::to_string(nnz) +
                     " entries but the file contains more");
   }
@@ -520,55 +294,13 @@ ReadResult read_edge_list(LineReader& r) {
       ++out.stats.comment_lines;
       continue;
     }
-    const std::vector<Token> toks = tokenize(r.line);
+    const std::vector<Token>& toks = r.tokens();
     if (toks.empty()) continue;
-    if (toks.size() != 2 && toks.size() != 3)
-      r.fail(toks[0].col, "edge line must be '<u> <v>' (an optional third "
-                          "token is ignored as a weight), got " +
-                              std::to_string(toks.size()) + " token(s)");
-    const std::int64_t u = parse_int64(r, toks[0], "vertex id");
-    const std::int64_t v = parse_int64(r, toks[1], "vertex id");
-    if (u < 0 || v < 0)
-      r.fail(toks[u < 0 ? 0 : 1].col, "vertex ids must be non-negative, "
-                                      "got '" +
-                                          (u < 0 ? toks[0] : toks[1]).text +
-                                          "'");
-    if (toks.size() == 3)
-      parse_numeric(r, toks[2], "edge weight");  // validated, ignored
-    ++out.stats.edge_records;
-    if (u == v) {
-      ++self_loops;
-      continue;
-    }
-    raw.emplace_back(std::min(u, v), std::max(u, v));
+    io_detail::parse_edge_list_line(r, toks, raw, out.stats.edge_records,
+                                    self_loops);
   }
-  // Dense relabeling in sorted id order (deterministic, id-monotone).
-  std::vector<std::int64_t> ids;
-  ids.reserve(raw.size() * 2);
-  for (const auto& [u, v] : raw) {
-    ids.push_back(u);
-    ids.push_back(v);
-  }
-  std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  if (static_cast<std::int64_t>(ids.size()) >
-      std::numeric_limits<Vertex>::max())
-    r.fail_eof("file names " + std::to_string(ids.size()) +
-               " distinct vertices, more than the supported maximum of " +
-               std::to_string(std::numeric_limits<Vertex>::max()));
-  const auto dense = [&](std::int64_t id) {
-    return static_cast<Vertex>(
-        std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
-  };
-  GraphBuilder b(static_cast<Vertex>(ids.size()));
-  b.reserve(raw.size());
-  for (const auto& [u, v] : raw) b.add_edge(dense(u), dense(v));
-  Graph g = b.build();  // merges duplicates in the counting-sort fill
-  out.stats.duplicate_edges =
-      static_cast<std::int64_t>(raw.size()) - g.num_edges();
-  out.stats.self_loops = self_loops;
-  out.stats.zero_indexed = !ids.empty() && ids.front() == 0;
-  out.graph = std::move(g);
+  out.graph = io_detail::finish_edge_list(r.name, r.lineno + 1, raw,
+                                          self_loops, out.stats);
   return out;
 }
 
@@ -695,6 +427,11 @@ GraphFormat sniff_format(const std::string& path, const std::string& head) {
 }
 
 ReadResult read_graph_file(const std::string& path, GraphFormat format) {
+  return read_graph_file(path, format, ReadOptions{});
+}
+
+ReadResult read_graph_file(const std::string& path, GraphFormat format,
+                           const ReadOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in)
     throw PreconditionError(path + ": cannot open file for reading");
@@ -705,6 +442,19 @@ ReadResult read_graph_file(const std::string& path, GraphFormat format) {
     format = sniff_format(path, head_str);
     in.clear();
     in.seekg(0);
+  }
+  int threads = options.threads;
+  if (threads <= 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  // The chunk-parallel reader covers the two formats whose grammar is
+  // line-splittable without lookahead (edge list, METIS). DIMACS and
+  // Matrix Market stay streaming — their header/count structure is
+  // sequential — as does any file the platform cannot mmap.
+  if (threads > 1 && (format == GraphFormat::kEdgeList ||
+                      format == GraphFormat::kMetis)) {
+    ReadResult out;
+    if (io_detail::try_read_file_parallel(path, format, threads, out))
+      return out;
   }
   return read_graph(in, format, path);
 }

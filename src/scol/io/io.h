@@ -84,6 +84,23 @@ ReadResult read_graph(std::istream& in, GraphFormat format,
 ReadResult read_graph_file(const std::string& path,
                            GraphFormat format = GraphFormat::kAuto);
 
+/// How read_graph_file ingests the file.
+struct ReadOptions {
+  /// Reader parallelism: 1 = the streaming line reader (default), n > 1
+  /// = mmap the file and parse n newline-aligned chunks concurrently,
+  /// 0 = one chunk per hardware thread. The parallel reader covers the
+  /// edge-list and METIS formats; DIMACS / Matrix Market / unmappable
+  /// files silently fall back to streaming. Both paths produce
+  /// bit-identical graphs, ReadStats, and error messages (the contract
+  /// tests/test_csr_differential.cpp pins), so this knob is purely a
+  /// throughput choice.
+  int threads = 1;
+};
+
+/// Reads `path` with explicit ingestion options (see ReadOptions).
+ReadResult read_graph_file(const std::string& path, GraphFormat format,
+                           const ReadOptions& options);
+
 /// Resolves kAuto: first by the path's extension (.col / .graph /
 /// .metis / .mtx / .mm / .edges / .el / .edgelist / .txt), then by
 /// `head` (the file's leading bytes): "%%MatrixMarket" means Matrix

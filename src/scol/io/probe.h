@@ -40,6 +40,18 @@ struct ProbeOptions {
   /// when n <= this; above it, fall back to the peeling bounds
   /// mad <= 2 * degeneracy and arboricity <= degeneracy.
   Vertex exact_mad_limit = 1024;
+  /// Sampled-probe budget: 0 (default) always probes exactly. When
+  /// positive and n + m exceeds it, probe_graph switches to the SAMPLED
+  /// mode, which never walks the full edge set: degeneracy falls back to
+  /// the certified max_degree upper bound (degeneracy_exact = false)
+  /// while a deterministic sampled peel reports degeneracy_lower, the
+  /// girth scan and connectivity are skipped (girth_floor drops to the
+  /// trivially certified 3; components/connected/forest report the
+  /// conservative unknowns below), and planarity is kUnknown. Every
+  /// reported field is still a certified fact — just a weaker one — so
+  /// campaign eligibility stays sound: sampling can only skip more
+  /// cells, never run an ineligible one.
+  std::int64_t budget = 0;
 };
 
 /// What probe_graph() certified about one graph. Every field is a fact,
@@ -49,8 +61,22 @@ struct GraphProbe {
   Vertex n = 0;
   std::int64_t m = 0;
   Vertex max_degree = 0;
-  /// Exact degeneracy (bucket-queue peel, O(n + m)).
+  /// Exact degeneracy (bucket-queue peel, O(n + m)) when
+  /// degeneracy_exact; in sampled mode the certified fallback upper
+  /// bound max_degree.
   Vertex degeneracy = 0;
+  bool degeneracy_exact = true;  ///< degeneracy is the exact value
+  /// Certified LOWER bound on the degeneracy: equal to `degeneracy` in
+  /// exact mode; in sampled mode the exact degeneracy of a
+  /// deterministically sampled induced subgraph (an induced subgraph
+  /// never has higher degeneracy than its host).
+  Vertex degeneracy_lower = 0;
+  /// True when ProbeOptions::budget forced the sampled mode: the fields
+  /// below hold certified-but-weaker facts as documented per field, and
+  /// components / connected / forest / girth are reported at their
+  /// conservative unknowns (0 / false / false / -1 meaning "not
+  /// scanned", with girth_floor = 3 the only certified girth fact).
+  bool sampled = false;
   /// Certified upper bound on the maximum average degree: exact (flow)
   /// up to ProbeOptions::exact_mad_limit, else 2 * degeneracy.
   double mad_upper = 0.0;

@@ -57,6 +57,8 @@ ServeRequest parse_request(const std::string& line) {
       const std::string op = want_str(value, "op");
       if (op == "solve") {
         req.op = ServeOp::kSolve;
+      } else if (op == "probe") {
+        req.op = ServeOp::kProbe;
       } else if (op == "stats") {
         req.op = ServeOp::kStats;
       } else if (op == "shutdown") {
@@ -93,6 +95,8 @@ ServeRequest parse_request(const std::string& line) {
       req.spec.params = params_from_json(value);
     } else if (key == "round_budget") {
       req.spec.round_budget = want_int(value, "round_budget");
+    } else if (key == "probe_budget") {
+      req.probe_options.budget = want_int(value, "probe_budget");
     } else if (key == "with_coloring") {
       SCOL_REQUIRE(value.is_bool(),
                    + "field 'with_coloring' wants a boolean");
@@ -102,12 +106,12 @@ ServeRequest parse_request(const std::string& line) {
     }
   }
 
-  if (req.op == ServeOp::kSolve) {
+  if (req.op == ServeOp::kSolve)
     SCOL_REQUIRE(!req.spec.algorithm.empty(),
                  + "solve request wants 'algo'");
+  if (req.op == ServeOp::kSolve || req.op == ServeOp::kProbe)
     SCOL_REQUIRE(!(have_gen && req.digest.has_value()),
                  + "request wants 'gen' or 'hash', not both");
-  }
   return req;
 }
 

@@ -4,8 +4,8 @@
 // Request object (unknown fields are rejected — a typo'd "alog" must not
 // silently run defaults):
 //
-//   {"op": "solve",            // default; also "stats", "shutdown"
-//    "id": <int|string>,       // optional, echoed verbatim
+//   {"op": "solve",            // default; also "probe", "stats",
+//    "id": <int|string>,       //   "shutdown"; id optional, echoed
 //    "gen": "grid:rows=20",    // scenario spec, XOR
 //    "hash": "<32 hex>",       //   content digest of a resident graph
 //    "algo": "sparse",         // required for solve
@@ -14,6 +14,7 @@
 //    "palette": -1,
 //    "params": {"d": 4},       // scalars only
 //    "round_budget": -1,
+//    "probe_budget": 0,        // probe op: sampled above n + m > B
 //    "with_coloring": false}
 //
 // Response envelope for a solve:
@@ -35,11 +36,12 @@
 
 #include "scol/api/json.h"
 #include "scol/api/oneshot.h"
+#include "scol/io/probe.h"
 #include "scol/serve/hash.h"
 
 namespace scol {
 
-enum class ServeOp { kSolve, kStats, kShutdown };
+enum class ServeOp { kSolve, kProbe, kStats, kShutdown };
 
 /// One parsed request line.
 struct ServeRequest {
@@ -47,6 +49,10 @@ struct ServeRequest {
   Json id;                       ///< null when the client sent none
   std::optional<Digest> digest;  ///< set when addressed by "hash"
   OneShotSpec spec;              ///< solve parameters ("gen" → scenario)
+  /// Probe cost bounds for op:"probe" ("probe_budget" on the wire). The
+  /// entry's probe is memoized, so the first probe of a resident graph
+  /// fixes the options used for it (cache.h).
+  ProbeOptions probe_options;
 };
 
 /// Parses one request line. Throws PreconditionError on malformed JSON,

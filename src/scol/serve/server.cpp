@@ -34,6 +34,34 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+// Same shape as the "probe" object in `scol-cli probe` output, plus the
+// serving envelope's graph identity (digest + cache verdict).
+Json probe_json(const GraphProbe& p, const Digest& digest, bool graph_hit) {
+  Json out = Json::object();
+  out.set("hash", Json::str(digest.hex()));
+  out.set("graph_cache", Json::str(graph_hit ? "hit" : "miss"));
+  out.set("n", Json::integer(p.n));
+  out.set("m", Json::integer(p.m));
+  out.set("max_degree", Json::integer(p.max_degree));
+  out.set("degeneracy", Json::integer(p.degeneracy));
+  out.set("degeneracy_exact", Json::boolean(p.degeneracy_exact));
+  out.set("degeneracy_lower", Json::integer(p.degeneracy_lower));
+  out.set("sampled", Json::boolean(p.sampled));
+  out.set("mad_upper", Json::real(p.mad_upper));
+  out.set("mad_exact", Json::boolean(p.mad_exact));
+  out.set("arboricity_upper", Json::integer(p.arboricity_upper));
+  out.set("arboricity_exact", Json::boolean(p.arboricity_exact));
+  out.set("components", Json::integer(p.components));
+  out.set("connected", Json::boolean(p.connected));
+  out.set("forest", Json::boolean(p.forest));
+  out.set("complete", Json::boolean(p.complete));
+  out.set("girth", Json::integer(p.girth));
+  out.set("girth_floor", Json::integer(p.girth_floor));
+  out.set("triangle_free", Json::boolean(p.triangle_free));
+  out.set("planar", Json::str(to_string(p.planar)));
+  return out;
+}
+
 Json cache_stats_json(const CacheStats& s) {
   Json out = Json::object();
   out.set("hits", Json::integer(static_cast<std::int64_t>(s.hits)));
@@ -99,7 +127,33 @@ bool Server::serve_stream(std::istream& in, std::ostream& out) {
       // Control requests are barriers: they observe every solve that
       // arrived before them, so a client can assert on counters.
       flush(batch, out);
-      if (p.req.op == ServeOp::kStats) {
+      if (p.req.op == ServeOp::kProbe) {
+        // Answered inline off the graph cache; the per-entry probe is
+        // memoized (cache.h), so re-probing a resident graph is free.
+        try {
+          std::shared_ptr<GraphEntry> entry;
+          bool graph_hit = false;
+          if (p.req.digest.has_value()) {
+            entry = store_.find_digest(*p.req.digest);
+            SCOL_REQUIRE(entry != nullptr,
+                         + ("no resident graph with hash '" +
+                            p.req.digest->hex() + "'"));
+            graph_hit = true;
+          } else {
+            entry = store_.get_scenario(p.req.spec.scenario,
+                                        p.req.spec.seed, &graph_hit);
+          }
+          SCOL_REQUIRE(entry->graph() != nullptr, + entry->error());
+          const GraphProbe& probe = entry->probe(p.req.probe_options);
+          out << payload_envelope(
+                     p.req.id, "probe",
+                     probe_json(probe, entry->digest(), graph_hit))
+              << "\n";
+        } catch (const std::exception& e) {
+          out << error_envelope(p.req.id, e.what()) << "\n";
+        }
+        out.flush();
+      } else if (p.req.op == ServeOp::kStats) {
         out << payload_envelope(p.req.id, "stats", stats_json()) << "\n";
         out.flush();
       } else {

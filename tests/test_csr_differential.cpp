@@ -8,15 +8,25 @@
 // adjacency sets), on random inputs: identical degree sequences, identical
 // neighbor sets, and bit-identical end-to-end solve() reports no matter
 // which path built the graph.
+// The mmap parallel reader (io/parallel.cpp) is a fourth path into the
+// same CSR: it must be bit-identical to the streaming reader — graph,
+// ReadStats, and error messages — on every input, for every thread
+// count. The differential suite at the bottom pins that contract on the
+// bundled examples, on generated million-edge instances, and on
+// malformed files.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <set>
 
 #include "proptest.h"
 #include "scol/api/json.h"
 #include "scol/gen/random.h"
+#include "scol/gen/scale.h"
 #include "scol/graph/graph.h"
+#include "scol/io/io.h"
 
 namespace scol {
 namespace {
@@ -156,6 +166,157 @@ TEST(CsrDifferential, SolveReportsIdenticalAcrossBuildPaths) {
           << sample.description << ": " << cell.info->name;
     }
   }
+}
+
+// --- Parallel mmap reader vs streaming reader -----------------------------
+
+const int kThreadCounts[] = {2, 3, 8};
+
+void expect_identical_reads(const ReadResult& streaming,
+                            const ReadResult& parallel,
+                            const std::string& label) {
+  ASSERT_EQ(streaming.graph.num_vertices(), parallel.graph.num_vertices())
+      << label;
+  ASSERT_EQ(streaming.graph.num_edges(), parallel.graph.num_edges())
+      << label;
+  EXPECT_EQ(streaming.graph.edges(), parallel.graph.edges()) << label;
+  for (Vertex v = 0; v < streaming.graph.num_vertices(); ++v) {
+    const auto a = streaming.graph.neighbors(v);
+    const auto b = parallel.graph.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << label << ": neighbors of " << v;
+  }
+  const ReadStats& s = streaming.stats;
+  const ReadStats& p = parallel.stats;
+  EXPECT_EQ(s.format, p.format) << label;
+  EXPECT_EQ(s.declared_n, p.declared_n) << label;
+  EXPECT_EQ(s.declared_m, p.declared_m) << label;
+  EXPECT_EQ(s.edge_records, p.edge_records) << label;
+  EXPECT_EQ(s.duplicate_edges, p.duplicate_edges) << label;
+  EXPECT_EQ(s.self_loops, p.self_loops) << label;
+  EXPECT_EQ(s.asymmetric_edges, p.asymmetric_edges) << label;
+  EXPECT_EQ(s.comment_lines, p.comment_lines) << label;
+  EXPECT_EQ(s.zero_indexed, p.zero_indexed) << label;
+}
+
+void expect_thread_counts_agree(const std::string& path) {
+  const ReadResult streaming = read_graph_file(path);
+  for (const int threads : kThreadCounts) {
+    ReadOptions options;
+    options.threads = threads;
+    expect_identical_reads(
+        streaming, read_graph_file(path, GraphFormat::kAuto, options),
+        path + " @ threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelReader, BundledExamplesBitIdenticalAcrossThreadCounts) {
+  // All four formats: .graph and .edges exercise the parallel path,
+  // .col and .mtx its documented fallback to streaming.
+  for (const char* name :
+       {"grotzsch.col", "grid8x8.graph", "petersen.mtx", "heawood.edges"})
+    expect_thread_counts_agree(std::string(SCOL_REPO_DIR) +
+                               "/examples/graphs/" + name);
+}
+
+TEST(ParallelReader, MillionEdgeEdgeListBitIdentical) {
+  // pref_attach leaves no isolated vertex, so it survives the edge-list
+  // writer; ~1M edges spans many chunks at every thread count.
+  Rng rng(902001);
+  const Graph g = pref_attach(62500, 16, rng);
+  ASSERT_GT(g.num_edges(), 990000);
+  const std::string path = ::testing::TempDir() + "/scol_diff_big.edges";
+  write_graph_file(path, g);
+  expect_thread_counts_agree(path);
+  const ReadResult r = read_graph_file(path);
+  EXPECT_EQ(r.graph.edges(), g.edges());
+  std::remove(path.c_str());
+}
+
+TEST(ParallelReader, RmatMetisRoundTripBitIdentical) {
+  // RMAT has isolated vertices, which only the METIS round trip keeps;
+  // the skewed degrees also make chunk workloads deliberately uneven.
+  Rng rng(902011);
+  const Graph g = rmat(15, 8, 0.57, 0.19, 0.19, rng);
+  const std::string path = ::testing::TempDir() + "/scol_diff_rmat.graph";
+  write_graph_file(path, g);
+  expect_thread_counts_agree(path);
+  const ReadResult r = read_graph_file(path);
+  EXPECT_EQ(r.graph.edges(), g.edges());
+  EXPECT_EQ(r.graph.num_vertices(), g.num_vertices());
+  std::remove(path.c_str());
+}
+
+// Malformed inputs: the parallel reader must report the SAME error, with
+// the same "name:line:col" position, as the streaming reader — including
+// when the offending line is deep inside a late chunk.
+void expect_same_error(const std::string& path) {
+  std::string streaming_error;
+  try {
+    read_graph_file(path);
+    FAIL() << path << ": expected a PreconditionError";
+  } catch (const PreconditionError& e) {
+    streaming_error = e.what();
+  }
+  for (const int threads : kThreadCounts) {
+    ReadOptions options;
+    options.threads = threads;
+    try {
+      read_graph_file(path, GraphFormat::kAuto, options);
+      FAIL() << path << ": expected a PreconditionError @ threads="
+             << threads;
+    } catch (const PreconditionError& e) {
+      EXPECT_EQ(streaming_error, std::string(e.what()))
+          << path << " @ threads=" << threads;
+    }
+  }
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+TEST(ParallelReader, ErrorsMatchStreamingByteForByte) {
+  const std::string dir = ::testing::TempDir();
+
+  // Edge list: a bad token on a deep line.
+  std::string text;
+  for (int i = 0; i < 5000; ++i)
+    text += std::to_string(i) + " " + std::to_string(i + 1) + "\n";
+  text += "17 banana\n";
+  write_text(dir + "/scol_err_token.edges", text);
+  expect_same_error(dir + "/scol_err_token.edges");
+
+  // Edge list: a negative id near the end.
+  text.resize(text.size() - 10);
+  text += "\n3 -4\n";
+  write_text(dir + "/scol_err_neg.edges", text);
+  expect_same_error(dir + "/scol_err_neg.edges");
+
+  // METIS: truncated body (file ends early).
+  std::string metis = "6000 5999\n";
+  for (int i = 0; i < 4000; ++i)
+    metis += std::to_string(i == 0 ? 2 : i) + " " +
+             std::to_string(i + 2) + "\n";
+  write_text(dir + "/scol_err_trunc.graph", metis);
+  expect_same_error(dir + "/scol_err_trunc.graph");
+
+  // METIS: data after the declared adjacency lines.
+  std::string overlong = "2 1\n2\n1\n7 8\n";
+  write_text(dir + "/scol_err_overlong.graph", overlong);
+  expect_same_error(dir + "/scol_err_overlong.graph");
+
+  // METIS: a non-integer neighbor deep in the body.
+  std::string bad = "5000 4999\n2\n";
+  for (int i = 2; i <= 5000; ++i) {
+    bad += std::to_string(i - 1);
+    if (i < 5000) bad += " " + std::to_string(i + 1);
+    if (i == 4321) bad += " pear";
+    bad += "\n";
+  }
+  write_text(dir + "/scol_err_badnb.graph", bad);
+  expect_same_error(dir + "/scol_err_badnb.graph");
 }
 
 }  // namespace

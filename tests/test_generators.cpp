@@ -1,16 +1,26 @@
 // Generator invariants: sizes, degrees, girth, planarity, regularity,
-// bipartiteness, Klein-bottle structure.
+// bipartiteness, Klein-bottle structure — and, for the web-scale
+// families (gen/scale.h), edge-count exactness, degree-distribution
+// shape, per-seed determinism, and campaign JSONL bit-identity across
+// job counts.
+#include <cmath>
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "scol/api/campaign.h"
 #include "scol/flow/density.h"
 #include "scol/gen/circulant.h"
 #include "scol/gen/lattice.h"
 #include "scol/gen/planar_random.h"
 #include "scol/gen/random.h"
+#include "scol/gen/scale.h"
 #include "scol/gen/special.h"
 #include "scol/graph/components.h"
 #include "scol/graph/girth.h"
 #include "scol/planarity/planarity.h"
+#include "scol/util/executor.h"
 
 namespace scol {
 namespace {
@@ -118,6 +128,138 @@ TEST(Gen, NamedGraphInvariants) {
 TEST(Gen, KleinGridDeterministic) {
   // Same parameters, same graph (determinism).
   EXPECT_EQ(klein_grid(5, 9).edges(), klein_grid(5, 9).edges());
+}
+
+// --- Web-scale families (gen/scale.h) -------------------------------------
+
+TEST(GenScale, RmatEdgeCountsAndBounds) {
+  Rng rng(51001);
+  const Graph g = rmat(10, 8, 0.57, 0.19, 0.19, rng);
+  EXPECT_EQ(g.num_vertices(), 1024);
+  // Self-attempts drop and duplicates merge, so the distinct count is
+  // below the attempt count but (at these parameters) not collapsed.
+  EXPECT_LE(g.num_edges(), 8 * 1024);
+  EXPECT_GE(g.num_edges(), 4 * 1024);
+}
+
+TEST(GenScale, RmatQuadrantSkew) {
+  // With (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) the top-level quadrant
+  // of an attempt is (low, low) with probability a and (high, high) with
+  // probability d: the low-id half of the matrix must be dramatically
+  // denser. Dedup compresses the dense quadrant hardest, so the test
+  // uses generous margins around the attempt-level expectations.
+  Rng rng(51007);
+  const Vertex n = 4096;
+  const Graph g = rmat(12, 8, 0.57, 0.19, 0.19, rng);
+  std::int64_t low_low = 0;
+  std::int64_t high_high = 0;
+  for (const auto& [u, v] : g.edges()) {
+    if (u < n / 2 && v < n / 2) ++low_low;
+    if (u >= n / 2 && v >= n / 2) ++high_high;
+  }
+  const double total = static_cast<double>(g.num_edges());
+  EXPECT_GT(low_low / total, 0.40);
+  EXPECT_LT(high_high / total, 0.12);
+  EXPECT_GT(low_low, 5 * high_high);
+}
+
+TEST(GenScale, RmatSeedDeterminism) {
+  Rng a(7);
+  Rng b(7);
+  Rng c(8);
+  const Graph ga = rmat(9, 6, 0.57, 0.19, 0.19, a);
+  EXPECT_EQ(ga.edges(), rmat(9, 6, 0.57, 0.19, 0.19, b).edges());
+  EXPECT_NE(ga.edges(), rmat(9, 6, 0.57, 0.19, 0.19, c).edges());
+}
+
+TEST(GenScale, PowerlawExactEdgeCountAndDeterminism) {
+  Rng a(301);
+  Rng b(301);
+  const Graph ga = powerlaw(500, 1750, 2.5, a);
+  EXPECT_EQ(ga.num_vertices(), 500);
+  EXPECT_EQ(ga.num_edges(), 1750);  // exactly m, not approximately
+  EXPECT_EQ(ga.edges(), powerlaw(500, 1750, 2.5, b).edges());
+}
+
+TEST(GenScale, PowerlawTailSlopeWithinTolerance) {
+  // Chung–Lu weights target P[deg >= d] ~ d^(1 - alpha); a log-log
+  // least-squares fit of the complementary CDF over one decade must
+  // recover a slope near 1 - alpha = -1.5. The tolerance is loose — the
+  // generator is exact-m conditioned and dedup bends the extreme tail —
+  // but tight enough to reject uniform (slope that stays near 0 until a
+  // cliff) and dense-core shapes.
+  Rng rng(307);
+  const Vertex n = 20000;
+  const Graph g = powerlaw(n, 80000, 2.5, rng);
+  std::vector<double> log_d;
+  std::vector<double> log_ccdf;
+  for (const Vertex d : {4, 8, 16, 32, 64}) {
+    std::int64_t at_least = 0;
+    for (Vertex v = 0; v < n; ++v)
+      if (g.degree(v) >= d) ++at_least;
+    ASSERT_GT(at_least, 0) << "degree " << d;
+    log_d.push_back(std::log(static_cast<double>(d)));
+    log_ccdf.push_back(
+        std::log(static_cast<double>(at_least) / static_cast<double>(n)));
+  }
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const double k = static_cast<double>(log_d.size());
+  for (std::size_t i = 0; i < log_d.size(); ++i) {
+    sx += log_d[i];
+    sy += log_ccdf[i];
+    sxx += log_d[i] * log_d[i];
+    sxy += log_d[i] * log_ccdf[i];
+  }
+  const double slope = (k * sxy - sx * sy) / (k * sxx - sx * sx);
+  EXPECT_LT(slope, -0.9) << "tail too flat for alpha=2.5";
+  EXPECT_GT(slope, -2.3) << "tail too steep for alpha=2.5";
+}
+
+TEST(GenScale, PrefAttachExactEdgeCountAndMinDegree) {
+  Rng rng(311);
+  const Vertex n = 600;
+  const Vertex k = 5;
+  const Graph g = pref_attach(n, k, rng);
+  EXPECT_EQ(g.num_edges(),
+            static_cast<std::int64_t>(k) * (k - 1) / 2 +
+                static_cast<std::int64_t>(n - k) * k);
+  // Every arriving vertex brings exactly k distinct edges; seed-clique
+  // vertices start at degree k - 1.
+  for (Vertex v = 0; v < n; ++v) EXPECT_GE(g.degree(v), k - 1);
+  // Degree-proportional attachment concentrates on early vertices.
+  EXPECT_GT(g.max_degree(), 4 * k);
+  Rng b(311);
+  EXPECT_EQ(g.edges(), pref_attach(n, k, b).edges());
+}
+
+TEST(GenScale, CampaignJsonlBitIdenticalAcrossJobs) {
+  // The new scenarios through the campaign runner: the JSONL stream for
+  // jobs=8 must be byte-identical to jobs=1 — same contract the existing
+  // families are held to, now covering rmat/powerlaw/pref-attach.
+  CampaignSpec spec;
+  spec.scenarios = {"rmat:scale=7,edgefactor=4", "powerlaw:n=96,m=240",
+                    "pref-attach:n=96,k=3"};
+  spec.algorithms = {"greedy", "degeneracy"};
+  spec.seeds = 2;
+
+  const auto run = [&](Executor* executor) {
+    CampaignOptions options;
+    options.executor = executor;
+    std::vector<std::string> lines;
+    run_campaign(spec, options,
+                 [&](const std::string& line) { lines.push_back(line); });
+    return lines;
+  };
+  const std::vector<std::string> serial = run(nullptr);
+  ThreadPoolExecutor pool(8, /*grain=*/1);
+  const std::vector<std::string> parallel = run(&pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_GT(serial.size(), 0u);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << "line " << i;
 }
 
 }  // namespace

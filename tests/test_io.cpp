@@ -16,6 +16,7 @@
 #include "scol/flow/density.h"
 #include "scol/gen/lattice.h"
 #include "scol/gen/random.h"
+#include "scol/gen/scale.h"
 #include "scol/gen/special.h"
 #include "scol/io/io.h"
 #include "scol/io/probe.h"
@@ -129,16 +130,19 @@ TEST(IoDimacs, HugeVertexIdIsRangeCheckedNotWrapped) {
 
 TEST(IoDimacs, VertexCountBeyondInt32IsRejectedNotWrapped) {
   // 2^32 + 5 would silently become a 5-vertex graph if the count were
-  // narrowed before checking.
+  // narrowed before checking. Counts up to the 32-bit id limit build
+  // through the 64-bit-offset CSR path; only genuinely unrepresentable
+  // counts are rejected, and the message names the limit.
   std::string msg = error_of([] {
     parse("p edge 4294967301 1\ne 1 2\n", GraphFormat::kDimacs, "g.col");
   });
   EXPECT_CONTAINS(msg, "g.col:1:8");
-  EXPECT_CONTAINS(msg, "exceeds the supported maximum");
+  EXPECT_CONTAINS(msg, "exceeds the 32-bit vertex-id limit of 2147483647");
+  EXPECT_CONTAINS(msg, "counts up to the limit build");
   msg = error_of([] {
     parse("3000000000 1\n2\n1\n", GraphFormat::kMetis, "g.graph");
   });
-  EXPECT_CONTAINS(msg, "exceeds the supported maximum");
+  EXPECT_CONTAINS(msg, "exceeds the 32-bit vertex-id limit of 2147483647");
 }
 
 TEST(IoDimacs, MixedZeroAndOneBasedIdsAreRejected) {
@@ -692,6 +696,82 @@ TEST(Probe, DescribeMentionsTheHeadlineFacts) {
   EXPECT_CONTAINS(text, "n=10");
   EXPECT_CONTAINS(text, "degeneracy=3");
   EXPECT_CONTAINS(text, "planar=no");
+}
+
+// --- Sampled probe (ProbeOptions::budget) ---------------------------------
+
+TEST(Probe, BudgetZeroAndRoomyBudgetsStayExact) {
+  // budget = 0 (the default) and any budget the instance fits under must
+  // leave the probe on the exact path, byte-for-byte.
+  ProbeOptions roomy;
+  roomy.budget = 1 << 20;
+  const GraphProbe exact = probe_graph(grid(6, 6));
+  const GraphProbe under = probe_graph(grid(6, 6), roomy);
+  EXPECT_FALSE(exact.sampled);
+  EXPECT_FALSE(under.sampled);
+  EXPECT_TRUE(under.degeneracy_exact);
+  EXPECT_EQ(under.degeneracy, exact.degeneracy);
+  EXPECT_EQ(under.degeneracy_lower, exact.degeneracy);
+  EXPECT_EQ(describe(under), describe(exact));
+}
+
+TEST(Probe, SampledFactsAreWeakerButCertified) {
+  // pref-attach has a max degree well above its degeneracy (= k) and
+  // plenty of triangles: every sampled fact must be implied by the exact
+  // ones, just looser — that is what keeps campaign eligibility sound
+  // (a sampled probe can only skip more, never run an ineligible cell).
+  Rng rng(401);
+  const Graph g = pref_attach(4000, 3, rng);
+  const GraphProbe exact = probe_graph(g);
+  ProbeOptions opts;
+  opts.budget = 4096;  // n + m ~ 16k: well past the budget, sampled mode
+  const GraphProbe s = probe_graph(g, opts);
+  ASSERT_TRUE(s.sampled);
+  EXPECT_FALSE(s.degeneracy_exact);
+  EXPECT_EQ(s.degeneracy, s.max_degree);  // the Δ fallback upper bound
+  EXPECT_GE(s.degeneracy, exact.degeneracy);
+  EXPECT_LE(s.degeneracy_lower, exact.degeneracy);  // induced-sample bound
+  EXPECT_GE(s.degeneracy_lower, 1);
+  EXPECT_FALSE(s.mad_exact);
+  EXPECT_GE(s.mad_upper, exact.mad_upper);
+  EXPECT_GE(s.arboricity_upper, exact.arboricity_upper);
+  // Full-traversal facts are reported as uncertified, never guessed.
+  EXPECT_EQ(s.components, 0);
+  EXPECT_FALSE(s.connected);
+  EXPECT_FALSE(s.forest);
+  EXPECT_FALSE(s.triangle_free);
+  EXPECT_EQ(s.planar, ProbeVerdict::kUnknown);
+  // A sampled triangle pins the girth exactly; a miss certifies only
+  // the trivial floor.
+  EXPECT_EQ(s.girth_floor, 3);
+  if (s.girth == 3) EXPECT_EQ(exact.girth, 3);
+  // Pure function of the graph: same input, same sample, same facts.
+  const GraphProbe again = probe_graph(g, opts);
+  EXPECT_EQ(s.degeneracy_lower, again.degeneracy_lower);
+  EXPECT_EQ(s.girth, again.girth);
+}
+
+TEST(Probe, SampledTriangleScanPinsGirthOnDenseGraphs) {
+  ProbeOptions opts;
+  opts.budget = 64;
+  const GraphProbe s = probe_graph(complete(30), opts);
+  ASSERT_TRUE(s.sampled);
+  EXPECT_TRUE(s.complete);  // the one O(1) exact fact kept in sampled mode
+  EXPECT_EQ(s.girth, 3);
+  // The minimum sample size exceeds n here, so the "sample" is the whole
+  // vertex set and the lower bound meets the exact degeneracy.
+  EXPECT_EQ(s.degeneracy_lower, 29);
+  EXPECT_EQ(s.degeneracy, 29);
+}
+
+TEST(Probe, SampledDescribeSaysSo) {
+  ProbeOptions opts;
+  opts.budget = 64;
+  const std::string text = describe(probe_graph(complete(30), opts));
+  EXPECT_CONTAINS(text, "degeneracy<=");
+  EXPECT_CONTAINS(text, "degeneracy>=29");
+  EXPECT_CONTAINS(text, "components=?");
+  EXPECT_CONTAINS(text, " sampled");
 }
 
 // --- Registry preconditions against the probe -----------------------------
