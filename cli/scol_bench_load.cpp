@@ -48,8 +48,10 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <istream>
 #include <map>
 #include <memory>
@@ -58,6 +60,7 @@
 #include <thread>
 #include <vector>
 
+#include "parse_num.h"
 #include "scol/api/oneshot.h"
 #include "scol/serve/fdstream.h"
 #include "scol/serve/zipf.h"
@@ -242,29 +245,39 @@ int main(int argc, char** argv) {
       std::cout << kUsage;
       return 0;
     } else if (arg == "--requests") {
-      requests = std::atoll(need_value(i, "--requests").c_str());
+      requests = scol_cli_parse::checked_int(
+          need_value(i, "--requests"), "--requests", 1,
+          std::numeric_limits<std::int64_t>::max(), usage_error);
       ++i;
     } else if (arg == "--theta") {
-      theta = std::atof(need_value(i, "--theta").c_str());
+      theta = scol_cli_parse::checked_real(need_value(i, "--theta"),
+                                           "--theta", 0.0, usage_error);
       ++i;
     } else if (arg == "--seed") {
-      seed = std::strtoull(need_value(i, "--seed").c_str(), nullptr, 10);
+      seed = scol_cli_parse::checked_seed(need_value(i, "--seed"), "--seed",
+                                          usage_error);
       ++i;
     } else if (arg == "--window") {
-      window = static_cast<std::size_t>(
-          std::atoll(need_value(i, "--window").c_str()));
+      window = static_cast<std::size_t>(scol_cli_parse::checked_int(
+          need_value(i, "--window"), "--window", 1,
+          std::numeric_limits<std::int64_t>::max(), usage_error));
       ++i;
     } else if (arg == "--jobs") {
-      jobs = std::atoi(need_value(i, "--jobs").c_str());
+      jobs = static_cast<int>(scol_cli_parse::checked_int(
+          need_value(i, "--jobs"), "--jobs", 1,
+          std::numeric_limits<int>::max(), usage_error));
       ++i;
     } else if (arg == "--max-batch") {
-      max_batch = std::atoi(need_value(i, "--max-batch").c_str());
+      max_batch = static_cast<int>(scol_cli_parse::checked_int(
+          need_value(i, "--max-batch"), "--max-batch", 1,
+          std::numeric_limits<int>::max(), usage_error));
       ++i;
     } else if (arg == "--serve-bin") {
       serve_bin = need_value(i, "--serve-bin");
       ++i;
     } else if (arg == "--port") {
-      port = std::atoi(need_value(i, "--port").c_str());
+      port = static_cast<int>(scol_cli_parse::checked_int(
+          need_value(i, "--port"), "--port", 0, 65535, usage_error));
       ++i;
     } else if (arg == "--no-verify") {
       verify = false;
@@ -274,10 +287,6 @@ int main(int argc, char** argv) {
       usage_error("unknown flag '" + arg + "'");
     }
   }
-  if (requests < 1) usage_error("--requests must be >= 1");
-  if (theta < 0.0) usage_error("--theta must be >= 0");
-  if (window < 1) usage_error("--window must be >= 1");
-  if (jobs < 1) usage_error("--jobs must be >= 1");
 
   const std::vector<RequestKey> universe = build_universe();
 

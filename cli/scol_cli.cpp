@@ -93,13 +93,16 @@
 // Exit code: 0 for a kColored/kInfeasible report (both are answers),
 // 1 for kFailed (or, in campaign mode, any oracle violation), 2 for
 // usage errors.
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "parse_num.h"
 #include "scol/api/api.h"
 #include "scol/api/oneshot.h"
 #include "scol/io/io.h"
@@ -200,7 +203,8 @@ int gen_main(int argc, char** argv) {
       gen = need_value(i, "--gen");
       ++i;
     } else if (arg == "--seed") {
-      seed = std::strtoull(need_value(i, "--seed").c_str(), nullptr, 10);
+      seed = scol_cli_parse::checked_seed(need_value(i, "--seed"), "--seed",
+                                          gen_usage_error);
       ++i;
     } else if (arg == "--out") {
       out_path = need_value(i, "--out");
@@ -258,29 +262,42 @@ int probe_main(int argc, char** argv) {
       gen = need_value(i, "--gen");
       ++i;
     } else if (arg == "--k") {
-      k = std::atoi(need_value(i, "--k").c_str());
+      k = static_cast<Vertex>(scol_cli_parse::checked_int(
+          need_value(i, "--k"), "--k", -1,
+          std::numeric_limits<Vertex>::max(), probe_usage_error));
       ++i;
     } else if (arg == "--seed") {
-      seed = std::strtoull(need_value(i, "--seed").c_str(), nullptr, 10);
+      seed = scol_cli_parse::checked_seed(need_value(i, "--seed"), "--seed",
+                                          probe_usage_error);
       ++i;
     } else if (arg == "--param") {
       parse_param(params, need_value(i, "--param"));
       ++i;
     } else if (arg == "--planarity-limit") {
-      probe_options.planarity_limit =
-          std::atoi(need_value(i, "--planarity-limit").c_str());
+      probe_options.planarity_limit = static_cast<Vertex>(
+          scol_cli_parse::checked_int(need_value(i, "--planarity-limit"),
+                                      "--planarity-limit", 0,
+                                      std::numeric_limits<Vertex>::max(),
+                                      probe_usage_error));
       ++i;
     } else if (arg == "--girth-limit") {
-      probe_options.girth_limit =
-          std::atoi(need_value(i, "--girth-limit").c_str());
+      probe_options.girth_limit = static_cast<Vertex>(
+          scol_cli_parse::checked_int(need_value(i, "--girth-limit"),
+                                      "--girth-limit", 0,
+                                      std::numeric_limits<Vertex>::max(),
+                                      probe_usage_error));
       ++i;
     } else if (arg == "--mad-limit") {
-      probe_options.exact_mad_limit =
-          std::atoi(need_value(i, "--mad-limit").c_str());
+      probe_options.exact_mad_limit = static_cast<Vertex>(
+          scol_cli_parse::checked_int(need_value(i, "--mad-limit"),
+                                      "--mad-limit", 0,
+                                      std::numeric_limits<Vertex>::max(),
+                                      probe_usage_error));
       ++i;
     } else if (arg == "--probe-budget") {
-      probe_options.budget =
-          std::atoll(need_value(i, "--probe-budget").c_str());
+      probe_options.budget = scol_cli_parse::checked_int(
+          need_value(i, "--probe-budget"), "--probe-budget", 0,
+          std::numeric_limits<std::int64_t>::max(), probe_usage_error);
       ++i;
     } else if (arg == "--pretty") {
       pretty = true;
@@ -400,19 +417,27 @@ int campaign_main(int argc, char** argv) {
       }
       ++i;
     } else if (arg == "--seed") {
-      spec.seed = std::strtoull(need_value(i, "--seed").c_str(), nullptr, 10);
+      spec.seed = scol_cli_parse::checked_seed(need_value(i, "--seed"),
+                                               "--seed",
+                                               campaign_usage_error);
       ++i;
     } else if (arg == "--seeds") {
-      spec.seeds = std::atoi(need_value(i, "--seeds").c_str());
+      spec.seeds = static_cast<int>(scol_cli_parse::checked_int(
+          need_value(i, "--seeds"), "--seeds", 1,
+          std::numeric_limits<int>::max(), campaign_usage_error));
       ++i;
     } else if (arg == "--k") {
-      spec.k = std::atoi(need_value(i, "--k").c_str());
+      spec.k = static_cast<Vertex>(scol_cli_parse::checked_int(
+          need_value(i, "--k"), "--k", -1,
+          std::numeric_limits<Vertex>::max(), campaign_usage_error));
       ++i;
     } else if (arg == "--lists") {
       spec.lists_mode = need_value(i, "--lists");
       ++i;
     } else if (arg == "--palette") {
-      spec.palette = std::atoi(need_value(i, "--palette").c_str());
+      spec.palette = static_cast<Vertex>(scol_cli_parse::checked_int(
+          need_value(i, "--palette"), "--palette", -1,
+          std::numeric_limits<Vertex>::max(), campaign_usage_error));
       ++i;
     } else if (arg == "--param") {
       parse_param(spec.params, need_value(i, "--param"));
@@ -428,23 +453,30 @@ int campaign_main(int argc, char** argv) {
       spec.algo_params.emplace_back(v.substr(0, colon), std::move(bag));
       ++i;
     } else if (arg == "--round-budget") {
-      spec.round_budget = std::atoll(need_value(i, "--round-budget").c_str());
+      spec.round_budget = scol_cli_parse::checked_int(
+          need_value(i, "--round-budget"), "--round-budget", -1,
+          std::numeric_limits<std::int64_t>::max(), campaign_usage_error);
       ++i;
     } else if (arg == "--jobs") {
-      jobs = std::atoi(need_value(i, "--jobs").c_str());
+      jobs = static_cast<int>(scol_cli_parse::checked_int(
+          need_value(i, "--jobs"), "--jobs", 1,
+          std::numeric_limits<int>::max(), campaign_usage_error));
       ++i;
     } else if (arg == "--shards") {
-      spec.exec_shards = std::atoi(need_value(i, "--shards").c_str());
+      spec.exec_shards = static_cast<int>(scol_cli_parse::checked_int(
+          need_value(i, "--shards"), "--shards", 1,
+          std::numeric_limits<int>::max(), campaign_usage_error));
       ++i;
     } else if (arg == "--no-exchange-metrics") {
       spec.exchange_metrics = false;
     } else if (arg == "--shard") {
-      const std::string v = need_value(i, "--shard");
-      const std::size_t slash = v.find('/');
-      if (slash == std::string::npos)
-        campaign_usage_error("--shard wants i/m, got '" + v + "'");
-      options.shard_index = std::atoi(v.substr(0, slash).c_str());
-      options.shard_count = std::atoi(v.substr(slash + 1).c_str());
+      std::int64_t shard_index = 0;
+      std::int64_t shard_count = 0;
+      scol_cli_parse::checked_shard_spec(need_value(i, "--shard"),
+                                         &shard_index, &shard_count,
+                                         campaign_usage_error);
+      options.shard_index = static_cast<int>(shard_index);
+      options.shard_count = static_cast<int>(shard_count);
       ++i;
     } else if (arg == "--out") {
       out_path = need_value(i, "--out");
@@ -456,20 +488,30 @@ int campaign_main(int argc, char** argv) {
     } else if (arg == "--no-probe") {
       spec.probe = false;
     } else if (arg == "--planarity-limit") {
-      spec.probe_options.planarity_limit =
-          std::atoi(need_value(i, "--planarity-limit").c_str());
+      spec.probe_options.planarity_limit = static_cast<Vertex>(
+          scol_cli_parse::checked_int(need_value(i, "--planarity-limit"),
+                                      "--planarity-limit", 0,
+                                      std::numeric_limits<Vertex>::max(),
+                                      campaign_usage_error));
       ++i;
     } else if (arg == "--girth-limit") {
-      spec.probe_options.girth_limit =
-          std::atoi(need_value(i, "--girth-limit").c_str());
+      spec.probe_options.girth_limit = static_cast<Vertex>(
+          scol_cli_parse::checked_int(need_value(i, "--girth-limit"),
+                                      "--girth-limit", 0,
+                                      std::numeric_limits<Vertex>::max(),
+                                      campaign_usage_error));
       ++i;
     } else if (arg == "--mad-limit") {
-      spec.probe_options.exact_mad_limit =
-          std::atoi(need_value(i, "--mad-limit").c_str());
+      spec.probe_options.exact_mad_limit = static_cast<Vertex>(
+          scol_cli_parse::checked_int(need_value(i, "--mad-limit"),
+                                      "--mad-limit", 0,
+                                      std::numeric_limits<Vertex>::max(),
+                                      campaign_usage_error));
       ++i;
     } else if (arg == "--probe-budget") {
-      spec.probe_options.budget =
-          std::atoll(need_value(i, "--probe-budget").c_str());
+      spec.probe_options.budget = scol_cli_parse::checked_int(
+          need_value(i, "--probe-budget"), "--probe-budget", 0,
+          std::numeric_limits<std::int64_t>::max(), campaign_usage_error);
       ++i;
     } else if (arg == "--pretty") {
       pretty = true;
@@ -480,8 +522,6 @@ int campaign_main(int argc, char** argv) {
   if (spec.scenarios.empty()) spec.scenarios.push_back("grid");
   if (spec.algorithms.empty())
     campaign_usage_error("--algo is required (name or 'all')");
-  if (jobs < 1) campaign_usage_error("--jobs must be >= 1");
-  if (spec.exec_shards < 1) campaign_usage_error("--shards must be >= 1");
   if (summary_only && !out_path.empty())
     campaign_usage_error("--summary-only and --out are mutually exclusive");
 
@@ -571,32 +611,43 @@ int main(int argc, char** argv) {
         usage_error("--lists must be uniform or random");
       ++i;
     } else if (arg == "--k") {
-      spec.k = std::atoi(need_value(i, "--k").c_str());
+      spec.k = static_cast<Vertex>(scol_cli_parse::checked_int(
+          need_value(i, "--k"), "--k", -1,
+          std::numeric_limits<Vertex>::max(), usage_error));
       ++i;
     } else if (arg == "--palette") {
-      spec.palette = std::atoi(need_value(i, "--palette").c_str());
+      spec.palette = static_cast<Vertex>(scol_cli_parse::checked_int(
+          need_value(i, "--palette"), "--palette", -1,
+          std::numeric_limits<Vertex>::max(), usage_error));
       ++i;
     } else if (arg == "--param") {
       parse_param(spec.params, need_value(i, "--param"));
       ++i;
     } else if (arg == "--seed") {
-      spec.seed = std::strtoull(need_value(i, "--seed").c_str(), nullptr,
-                                10);
+      spec.seed = scol_cli_parse::checked_seed(need_value(i, "--seed"),
+                                               "--seed", usage_error);
       ++i;
     } else if (arg == "--threads") {
-      spec.threads = std::atoi(need_value(i, "--threads").c_str());
+      spec.threads = static_cast<int>(scol_cli_parse::checked_int(
+          need_value(i, "--threads"), "--threads", 0,
+          std::numeric_limits<int>::max(), usage_error));
       ++i;
     } else if (arg == "--shards") {
-      spec.shards = std::atoi(need_value(i, "--shards").c_str());
+      spec.shards = static_cast<int>(scol_cli_parse::checked_int(
+          need_value(i, "--shards"), "--shards", 1,
+          std::numeric_limits<int>::max(), usage_error));
       ++i;
     } else if (arg == "--no-exchange-metrics") {
       spec.exchange_metrics = false;
     } else if (arg == "--round-budget") {
-      spec.round_budget =
-          std::atoll(need_value(i, "--round-budget").c_str());
+      spec.round_budget = scol_cli_parse::checked_int(
+          need_value(i, "--round-budget"), "--round-budget", -1,
+          std::numeric_limits<std::int64_t>::max(), usage_error);
       ++i;
     } else if (arg == "--deadline-ms") {
-      spec.deadline_ms = std::atof(need_value(i, "--deadline-ms").c_str());
+      spec.deadline_ms = scol_cli_parse::checked_real(
+          need_value(i, "--deadline-ms"), "--deadline-ms", -1.0,
+          usage_error);
       ++i;
     } else if (arg == "--no-validate") {
       spec.validate = false;
@@ -611,7 +662,6 @@ int main(int argc, char** argv) {
     }
   }
   if (spec.algorithm.empty()) usage_error("--algo is required");
-  if (spec.shards < 0) usage_error("--shards must be >= 1");
   if (spec.threads > 0 && spec.shards > 0)
     usage_error("--threads and --shards are mutually exclusive");
 

@@ -29,10 +29,13 @@
 // server treats it as that connection closing (docs/SERVE.md "Disconnect
 // and signal semantics").
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
 
+#include "parse_num.h"
 #include "scol/serve/server.h"
 #include "scol/version.h"
 
@@ -77,30 +80,36 @@ int main(int argc, char** argv) {
       std::cout << kUsage;
       return 0;
     } else if (arg == "--port") {
-      port = std::atoi(need_value(i, "--port").c_str());
+      port = static_cast<int>(scol_cli_parse::checked_int(
+          need_value(i, "--port"), "--port", 0, 65535, usage_error));
       ++i;
     } else if (arg == "--jobs") {
-      options.jobs = std::atoi(need_value(i, "--jobs").c_str());
+      options.jobs = static_cast<int>(scol_cli_parse::checked_int(
+          need_value(i, "--jobs"), "--jobs", 1,
+          std::numeric_limits<int>::max(), usage_error));
       ++i;
     } else if (arg == "--max-batch") {
       options.max_batch = static_cast<std::size_t>(
-          std::atoll(need_value(i, "--max-batch").c_str()));
+          scol_cli_parse::checked_int(
+              need_value(i, "--max-batch"), "--max-batch", 1,
+              std::numeric_limits<std::int64_t>::max(), usage_error));
       ++i;
     } else if (arg == "--graph-cache") {
       options.graph_cache_capacity = static_cast<std::size_t>(
-          std::atoll(need_value(i, "--graph-cache").c_str()));
+          scol_cli_parse::checked_int(
+              need_value(i, "--graph-cache"), "--graph-cache", 0,
+              std::numeric_limits<std::int64_t>::max(), usage_error));
       ++i;
     } else if (arg == "--report-cache") {
       options.report_cache_capacity = static_cast<std::size_t>(
-          std::atoll(need_value(i, "--report-cache").c_str()));
+          scol_cli_parse::checked_int(
+              need_value(i, "--report-cache"), "--report-cache", 0,
+              std::numeric_limits<std::int64_t>::max(), usage_error));
       ++i;
     } else {
       usage_error("unknown flag '" + arg + "'");
     }
   }
-  if (options.jobs < 1) usage_error("--jobs must be >= 1");
-  if (options.max_batch < 1) usage_error("--max-batch must be >= 1");
-  if (port < -1 || port > 65535) usage_error("--port must be in [0, 65535]");
 
   try {
     Server server(options);

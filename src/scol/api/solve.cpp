@@ -15,6 +15,7 @@
 #include "scol/coloring/randomized.h"
 #include "scol/coloring/sdr.h"
 #include "scol/coloring/sparse.h"
+#include "scol/coloring/sparsify.h"
 #include "scol/graph/cliques.h"
 #include "scol/local/shard.h"
 
@@ -129,6 +130,98 @@ std::string why_not_degenerate(const GraphProbe& probe, Vertex d,
   if (probe.degeneracy <= d) return "";
   return std::string("degeneracy ") + std::to_string(probe.degeneracy) +
          " > " + what + " " + std::to_string(d);
+}
+
+// --- Palette sparsification wrappers (coloring/sparsify.h). ---
+//
+// Each `*-sparsified` algorithm retries its base solver on a few
+// independently sampled c·log n sub-palettes and falls back to the full
+// lists when every attempt fails, so the wrapper keeps the base solver's
+// guarantee while usually touching a fraction of the palette. All
+// sampling and solving randomness derives from one value of the
+// context's seed through per-(vertex, attempt) / per-(vertex, round)
+// streams — reports are bit-identical across executors and shards.
+
+struct SparsifySetup {
+  double c = 4.0;             // param sparsify_c
+  std::int64_t attempts = 3;  // param sparsify_attempts
+  Vertex target = 0;          // sparsify_target(n, c)
+  std::uint64_t root = 0;     // all sparsify randomness derives from this
+};
+
+SparsifySetup sparsify_setup(const ColoringRequest& req, RunContext& ctx) {
+  SparsifySetup s;
+  s.c = req.params.get_real("sparsify_c", s.c);
+  s.attempts = std::max<std::int64_t>(
+      1, req.params.get_int("sparsify_attempts", s.attempts));
+  s.target = sparsify_target(req.graph->num_vertices(), s.c);
+  Rng rng = ctx.make_rng();
+  s.root = rng.next();
+  return s;
+}
+
+// The shared retry loop: run `attempt` on up to `attempts` sampled
+// sub-assignments, else `fallback` on the full lists. The metrics bag
+// records the attempt count, whether the fallback ran, and the sampled
+// vs full flat palette sizes (all scheduling-independent); LOCAL rounds
+// charged by attempts land in the "sparsified-attempts" ledger phase so
+// rounds == ledger.total() survives the wrapping.
+ColoringReport run_sparsified(
+    const ColoringRequest& req, RunContext& ctx,
+    const std::function<std::optional<Coloring>(
+        const ListAssignment& sampled, std::uint64_t attempt_seed,
+        std::int64_t* rounds)>& attempt,
+    const std::function<ColoringReport()>& fallback) {
+  const SparsifySetup s = sparsify_setup(req, ctx);
+  std::int64_t attempt_rounds = 0;
+  std::int64_t attempts_run = 0;
+  std::size_t sampled_colors = 0;
+  std::optional<Coloring> found;
+  for (std::int64_t a = 0; a < s.attempts && !found.has_value(); ++a) {
+    const ListAssignment sampled = sparsify_palette(
+        *req.lists, s.target, s.root, static_cast<std::uint64_t>(a));
+    sampled_colors = sampled.flat().size();
+    // Decorrelated from the sampling streams (different base seed).
+    const std::uint64_t attempt_seed =
+        Rng::stream(~s.root, static_cast<std::uint64_t>(a)).next();
+    std::int64_t rounds = 0;
+    found = attempt(sampled, attempt_seed, &rounds);
+    attempt_rounds += rounds;
+    ++attempts_run;
+  }
+  ColoringReport out;
+  const bool fell_back = !found.has_value();
+  if (found.has_value()) {
+    out = ColoringReport::colored(std::move(*found));
+  } else {
+    out = fallback();
+  }
+  if (attempt_rounds > 0) out.ledger.charge("sparsified-attempts", attempt_rounds);
+  out.metrics.set_int("sparsify_target", s.target);
+  out.metrics.set_int("sparsify_attempts", attempts_run);
+  out.metrics.set_int("sparsify_fallback", fell_back ? 1 : 0);
+  out.metrics.set_int("sparsify_sampled_colors",
+                      static_cast<std::int64_t>(sampled_colors));
+  out.metrics.set_int("sparsify_full_colors",
+                      static_cast<std::int64_t>(req.lists->flat().size()));
+  out.sync_derived_fields();
+  return out;
+}
+
+// Iteration cap shared by the sparsified attempts: generous for the
+// O(log n) w.h.p. regime, small enough that a pathological sample costs
+// bounded work before the next sample (or the fallback) takes over.
+int sparsify_attempt_cap(const RunContext& ctx) {
+  if (ctx.round_budget > 0)
+    return static_cast<int>(
+        std::max<std::int64_t>(1, ctx.round_budget / 2));
+  return 1000;
+}
+
+AlgorithmCaps sparsified_exact_caps() {
+  AlgorithmCaps c = exact_caps(true, false);
+  c.randomized = true;  // the seed drives the palette sampling
+  return c;
 }
 
 }  // namespace
@@ -452,6 +545,96 @@ void register_builtin_algorithms(AlgorithmRegistry& r) {
          [](const EligibilityQuery& q) {
            return why_not_k(q, q.probe->degeneracy + 1, "k");
          }});
+
+  // --- Palette-sparsified family (arXiv:2301.06457, arXiv:2408.08256):
+  // the base solvers on sampled c·log n sub-palettes, full-palette
+  // fallback. Shared params: sparsify_c (default 4.0), sparsify_attempts
+  // (default 3). ---
+  r.add({"dplus1-sparsified",
+         "Randomized (deg+1)-list-coloring on sampled c*log n "
+         "sub-palettes, full-palette randomized fallback; params: "
+         "sparsify_c (default 4.0), sparsify_attempts (default 3)",
+         caps(true, false, true, true),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           const int cap = sparsify_attempt_cap(ctx);
+           return run_sparsified(
+               req, ctx,
+               [&](const ListAssignment& sampled, std::uint64_t seed,
+                   std::int64_t* rounds) {
+                 std::int64_t iters = 0;
+                 auto c = sparsified_attempt_coloring(
+                     *req.graph, sampled, seed, ctx.executor, cap, &iters);
+                 *rounds = 2 * iters;  // propose + resolve per iteration
+                 return c;
+               },
+               [&]() {
+                 Rng frng = Rng::stream(ctx.seed, 0xFA11BACC);
+                 return randomized_list_coloring(*req.graph, *req.lists,
+                                                 frng, nullptr, ctx.executor,
+                                                 std::max(cap, 40'000));
+               });
+         },
+         {},
+         [](const EligibilityQuery& q) {
+           // The fallback needs (deg+1)-lists, same as `randomized`.
+           return why_not_k(q, q.probe->max_degree + 1, "k");
+         }});
+  r.add({"deglist-sparsified",
+         "Degeneracy-order greedy list-coloring on sampled c*log n "
+         "sub-palettes, full-list degeneracy greedy fallback; params: "
+         "sparsify_c (default 4.0), sparsify_attempts (default 3)",
+         caps(true, false, true, false),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           return run_sparsified(
+               req, ctx,
+               [&](const ListAssignment& sampled, std::uint64_t,
+                   std::int64_t*) {
+                 return degeneracy_list_coloring(*req.graph, sampled);
+               },
+               [&]() {
+                 return from_optional(
+                     degeneracy_list_coloring(*req.graph, *req.lists),
+                     "degeneracy greedy found a vertex with no free list "
+                     "color (sparsified attempts also failed)");
+               });
+         },
+         {},
+         [](const EligibilityQuery& q) {
+           // The fallback succeeds when every list beats the degeneracy,
+           // same as `degeneracy-list`.
+           return why_not_k(q, q.probe->degeneracy + 1, "k");
+         }});
+  r.add({"list-sparsified",
+         "Exact MRV list-coloring on sampled c*log n sub-palettes, exact "
+         "full-list fallback (which proves infeasibility); params: "
+         "sparsify_c (default 4.0), sparsify_attempts (default 3), "
+         "sparsify_node_budget (default 2e6), node_budget",
+         sparsified_exact_caps(),
+         [](const ColoringRequest& req, RunContext& ctx) {
+           return run_sparsified(
+               req, ctx,
+               [&](const ListAssignment& sampled, std::uint64_t,
+                   std::int64_t*) -> std::optional<Coloring> {
+                 // On a sampled sub-assignment nullopt is NOT an
+                 // infeasibility proof (the discarded colors could
+                 // work) and a blown node budget just means the sample
+                 // was hard: both fall through to the next attempt.
+                 try {
+                   return find_list_coloring(
+                       *req.graph, sampled,
+                       req.params.get_int("sparsify_node_budget",
+                                          2'000'000));
+                 } catch (const InternalError&) {
+                   return std::nullopt;
+                 }
+               },
+               [&]() {
+                 return from_exact(find_list_coloring(
+                     *req.graph, *req.lists,
+                     req.params.get_int("node_budget", 50'000'000)));
+               });
+         },
+         {}});
 
   // --- Exact solvers and special substrates. ---
   r.add({"exact",

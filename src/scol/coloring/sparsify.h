@@ -1,0 +1,57 @@
+// Palette sparsification (Flin–Ghaffari–Halldórsson–Kuhn–Nolin,
+// arXiv:2301.06457; Dhawan, arXiv:2408.08256): sampling O(log n) colors
+// per vertex from its list preserves list-colorability w.h.p., so a
+// solver can run on lists a fraction of the size — less palette memory
+// and less per-round forbidden-set work on exactly the dense instances
+// where ListAssignment is fattest.
+//
+// The kernel here is the deterministic half of that idea: a sampled
+// sub-assignment that is a pure function of (lists, target, seed,
+// attempt) — per-(vertex, attempt) Rng streams make the sample
+// independent of vertex visitation order, executors, and shard layout —
+// plus a propose/resolve round kernel that tolerates the short lists a
+// sample produces (a vertex with no free sampled color fails the attempt
+// instead of aborting the process). The registered `*-sparsified`
+// wrappers (api/solve.cpp) retry a few independent samples and fall back
+// to the full palette when every attempt fails, so the family keeps the
+// underlying solvers' guarantees.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "scol/coloring/types.h"
+#include "scol/graph/graph.h"
+#include "scol/util/executor.h"
+#include "scol/util/rng.h"
+
+namespace scol {
+
+/// Sampled list size for an n-vertex graph: ceil(c * log2(n + 1)),
+/// at least 2 (a 1-color list can never survive a propose/resolve
+/// clash, and the theorem's regime is c * log n >> 1 anyway).
+Vertex sparsify_target(Vertex n, double c);
+
+/// Samples each vertex's list down to at most `target` colors. Vertices
+/// whose list already fits are copied verbatim; larger lists get a
+/// uniform `target`-subset via partial Fisher–Yates driven by the
+/// Rng::stream keyed on (seed, attempt << 32 | v). Output lists are
+/// canonical (sorted, duplicate-free) subsets of the inputs, so any
+/// coloring found on the sample respects the original assignment.
+ListAssignment sparsify_palette(const ListAssignment& lists, Vertex target,
+                                std::uint64_t seed, std::uint64_t attempt);
+
+/// One attempt of randomized propose/resolve list coloring on (possibly
+/// sparsified) lists. Same stream discipline as
+/// randomized_list_coloring — per-(vertex, round) streams from
+/// `base_seed`, bit-identical under every executor — but with the
+/// (deg+1)-list guarantee dropped: when some vertex runs out of free
+/// list colors, or the attempt has not converged after `max_rounds`
+/// propose/resolve iterations, the coloring is abandoned and nullopt is
+/// returned. `iterations` (always written) is the number of iterations
+/// run, each worth 2 LOCAL rounds.
+std::optional<Coloring> sparsified_attempt_coloring(
+    const Graph& g, const ListAssignment& lists, std::uint64_t base_seed,
+    const Executor* executor, int max_rounds, std::int64_t* iterations);
+
+}  // namespace scol

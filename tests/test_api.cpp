@@ -86,6 +86,18 @@ std::vector<ApiCase> api_cases() {
   add("degeneracy", "degeneracy", sparse4, {});
   add("dsatur", "dsatur", planar, {});
   add("degeneracy_list", "degeneracy-list", planar, unif(planar, 5));
+  // Palette-sparsified family: sampled sub-palettes plus full-list
+  // fallback keep the base solvers' guarantees, so kColored everywhere
+  // the base fixture succeeds — and list-sparsified inherits exact-list's
+  // infeasibility proof through the fallback.
+  add("dplus1_sparsified", "dplus1-sparsified", planar, unif(planar, 5));
+  add("dplus1_sparsified_regular", "dplus1-sparsified", sparse4,
+      unif(sparse4, 5));
+  add("deglist_sparsified", "deglist-sparsified", planar, unif(planar, 5));
+  add("list_sparsified", "list-sparsified", grid(4, 4),
+      unif(grid(4, 4), 2));
+  add("list_sparsified_unsat", "list-sparsified", complete(5),
+      unif(complete(5), 4), -1, {}, SolveStatus::kInfeasible);
   add("exact_petersen", "exact", petersen(), {}, 3);
   add("exact_petersen_2", "exact", petersen(), {}, 2,
       {}, SolveStatus::kInfeasible);
@@ -114,7 +126,8 @@ TEST(Registry, Completeness) {
        {"sparse", "nice", "planar6", "planar4-trianglefree",
         "planar3-girth6", "arboricity", "genus", "genus-sharp", "delta-list",
         "ert", "randomized", "linial", "gps", "barenboim-elkin", "greedy",
-        "degeneracy", "dsatur", "degeneracy-list", "exact", "exact-list",
+        "degeneracy", "dsatur", "degeneracy-list", "dplus1-sparsified",
+        "deglist-sparsified", "list-sparsified", "exact", "exact-list",
         "sdr"}) {
     EXPECT_NE(AlgorithmRegistry::instance().find(expected), nullptr)
         << expected;
@@ -129,6 +142,16 @@ TEST(Registry, Completeness) {
   const auto& reg = AlgorithmRegistry::instance();
   EXPECT_TRUE(reg.at("exact").caps.proves_infeasibility);
   EXPECT_TRUE(reg.at("exact").caps.certificate_kinds.empty());
+  // The sparsified wrappers keep their fallback's proof power: only the
+  // exact fallback can prove infeasibility (non-constructively), and all
+  // three consume the seed for sampling.
+  EXPECT_TRUE(reg.at("list-sparsified").caps.proves_infeasibility);
+  EXPECT_TRUE(reg.at("list-sparsified").caps.certificate_kinds.empty());
+  EXPECT_FALSE(reg.at("dplus1-sparsified").caps.proves_infeasibility);
+  EXPECT_FALSE(reg.at("deglist-sparsified").caps.proves_infeasibility);
+  EXPECT_TRUE(reg.at("dplus1-sparsified").caps.randomized);
+  EXPECT_TRUE(reg.at("deglist-sparsified").caps.randomized);
+  EXPECT_TRUE(reg.at("list-sparsified").caps.randomized);
   EXPECT_TRUE(reg.at("delta-list").caps.proves_infeasibility);
   EXPECT_EQ(reg.at("delta-list").caps.certificate_kinds,
             std::vector<std::string>{"no-sdr-clique"});

@@ -346,6 +346,9 @@ std::map<std::string, SweepFixture> sweep_fixtures() {
   f["degeneracy"] = make_fixture(mixed);
   f["dsatur"] = make_fixture(mixed);
   f["degeneracy-list"] = make_fixture(planar);
+  f["dplus1-sparsified"] = make_fixture(mixed);
+  f["deglist-sparsified"] = make_fixture(mixed);
+  f["list-sparsified"] = make_fixture({"grid:rows=4,cols=4"}, 3);
   f["exact"] = make_fixture({"petersen"}, 3);
   f["exact-list"] = make_fixture({"grid:rows=4,cols=4"}, 2);
   f["sdr"] = make_fixture({"complete:n=5"}, 5);

@@ -80,6 +80,79 @@ TEST(Cli, UsageErrorsExitTwo) {
   SKIP_WITHOUT(binary("scol-cli"));
 }
 
+// Expect exit 2 AND the offending flag named in the combined output, so a
+// script author can tell WHICH flag was bad without reading the usage text.
+void expect_flag_error(const std::string& command, const std::string& flag) {
+  const RunResult r = run(command);
+  EXPECT_EQ(r.exit_code, 2) << command << "\n" << r.output;
+  EXPECT_NE(r.output.find(flag), std::string::npos)
+      << command << " did not name " << flag << ":\n"
+      << r.output;
+}
+
+TEST(Cli, BadNumericFlagsExitTwoAndNameTheFlag) {
+  const std::string bin = binary("scol-cli");
+  SKIP_WITHOUT(bin);
+  // Garbage, trailing junk, nonsensical negatives, overflow: the old
+  // atoi-based parses turned all of these into silent zeros (or, for
+  // `--seed -1`, into a huge unsigned seed).
+  expect_flag_error(bin + " campaign --gen petersen --seeds foo", "--seeds");
+  expect_flag_error(bin + " campaign --gen petersen --seeds 0", "--seeds");
+  expect_flag_error(bin + " campaign --gen petersen --jobs 4x", "--jobs");
+  expect_flag_error(bin + " campaign --gen petersen --seed -1", "--seed");
+  expect_flag_error(
+      bin + " campaign --gen petersen --round-budget 99999999999999999999",
+      "--round-budget");
+  expect_flag_error(bin + " --gen petersen --algo greedy --k 1.5", "--k");
+  expect_flag_error(bin + " --gen petersen --algo greedy --threads -2",
+                    "--threads");
+  expect_flag_error(bin + " --gen petersen --algo greedy --deadline-ms abc",
+                    "--deadline-ms");
+  expect_flag_error(bin + " gen petersen --seed 0x10", "--seed");
+  expect_flag_error(bin + " probe --gen petersen --mad-limit -3",
+                    "--mad-limit");
+}
+
+TEST(Cli, BadShardSpecsExitTwoAndExplain) {
+  const std::string bin = binary("scol-cli");
+  SKIP_WITHOUT(bin);
+  const std::string base = bin + " campaign --gen petersen --shard ";
+  expect_flag_error(base + "2of4", "--shard");    // no slash at all
+  expect_flag_error(base + "/4", "--shard");      // empty index part
+  expect_flag_error(base + "1/", "--shard");      // empty count part
+  expect_flag_error(base + "x/4", "--shard");     // non-numeric index
+  expect_flag_error(base + "1/y", "--shard");     // non-numeric count
+  expect_flag_error(base + "5/4", "--shard");     // index out of range
+  expect_flag_error(base + "4/4", "--shard");     // index == count
+  expect_flag_error(base + "-1/4", "--shard");    // negative index
+  expect_flag_error(base + "0/0", "--shard");     // zero shards
+  // A well-formed spec still works end to end.
+  EXPECT_EQ(
+      run(bin + " campaign --gen petersen --algo greedy --shard 0/2 "
+                "--summary-only")
+          .exit_code,
+      0);
+}
+
+TEST(Cli, ServeAndBenchLoadRejectBadNumericFlags) {
+  const std::string serve = binary("scol-serve");
+  if (exists(serve)) {
+    expect_flag_error(serve + " --port 99999", "--port");
+    expect_flag_error(serve + " --port http", "--port");
+    expect_flag_error(serve + " --jobs 0", "--jobs");
+    expect_flag_error(serve + " --max-batch -1", "--max-batch");
+    expect_flag_error(serve + " --graph-cache many", "--graph-cache");
+  }
+  const std::string bench = binary("scol-bench-load");
+  if (exists(bench)) {
+    expect_flag_error(bench + " --requests 10k", "--requests");
+    expect_flag_error(bench + " --theta -0.5", "--theta");
+    expect_flag_error(bench + " --seed 1e9", "--seed");
+    expect_flag_error(bench + " --window 0", "--window");
+  }
+  SKIP_WITHOUT(serve);
+}
+
 TEST(Cli, OneShotAnswersAndFailuresMapToExitCodes) {
   const std::string bin = binary("scol-cli");
   SKIP_WITHOUT(bin);

@@ -12,6 +12,7 @@
 #include "scol/coloring/exact.h"
 #include "scol/coloring/greedy.h"
 #include "scol/coloring/sparse.h"
+#include "scol/coloring/sparsify.h"
 #include "scol/flow/density.h"
 #include "scol/gen/circulant.h"
 #include "scol/gen/lattice.h"
@@ -312,6 +313,133 @@ TEST(Proptest, ArenaReuseAcrossSolves) {
   EXPECT_EQ(first.metrics.get_int("arena_allocs", -1),
             second.metrics.get_int("arena_allocs", -2));
   EXPECT_EQ(*first.coloring, *second.coloring);
+}
+
+// --- Palette sparsification (coloring/sparsify.h + the *-sparsified
+// registry family). ---
+
+TEST(Sparsify, SampleIsCanonicalSubsetOfTheRightSize) {
+  Rng rng(71);
+  for (int t = 0; t < 8; ++t) {
+    const Vertex n = 30 + static_cast<Vertex>(rng.below(40));
+    const Color palette = 20 + static_cast<Color>(rng.below(60));
+    const Color k = 5 + static_cast<Color>(rng.below(15));
+    const ListAssignment lists = random_lists(n, k, palette, rng);
+    const Vertex target = 3 + static_cast<Vertex>(rng.below(10));
+    const ListAssignment sampled =
+        sparsify_palette(lists, target, rng.next(), t);
+    ASSERT_EQ(sampled.size(), n);
+    EXPECT_TRUE(sampled.canonical());
+    for (Vertex v = 0; v < n; ++v) {
+      const auto full = lists.of(v);
+      const auto sub = sampled.of(v);
+      EXPECT_EQ(static_cast<Vertex>(sub.size()),
+                std::min<Vertex>(static_cast<Vertex>(full.size()), target));
+      for (const Color c : sub) EXPECT_TRUE(list_contains(full, c));
+    }
+  }
+}
+
+TEST(Sparsify, SampleIsAttemptKeyedAndReproducible) {
+  // Same (seed, attempt) -> identical sample; different attempts ->
+  // fresh samples (that is what makes retrying worthwhile).
+  Rng rng(73);
+  const ListAssignment lists = random_lists(50, 12, 40, rng);
+  const ListAssignment a0 = sparsify_palette(lists, 4, 999, 0);
+  const ListAssignment a0_again = sparsify_palette(lists, 4, 999, 0);
+  const ListAssignment a1 = sparsify_palette(lists, 4, 999, 1);
+  EXPECT_TRUE(std::equal(a0.flat().begin(), a0.flat().end(),
+                         a0_again.flat().begin(), a0_again.flat().end()));
+  EXPECT_FALSE(std::equal(a0.flat().begin(), a0.flat().end(),
+                          a1.flat().begin(), a1.flat().end()));
+}
+
+// One solve under an explicit executor, validation on.
+ColoringReport solve_sparsified(const std::string& algo, const Graph& g,
+                                const ListAssignment& lists,
+                                const ParamBag& params,
+                                const Executor* executor) {
+  ColoringRequest req = make_request(algo, g, lists);
+  req.params = params;
+  RunContext ctx;
+  ctx.validate = true;
+  ctx.executor = executor;
+  return solve(req, ctx);
+}
+
+TEST(Sparsify, FamilyIsValidAndExecutorIndependent) {
+  // Every sparsified algorithm colors uniform auto-k lists on random
+  // sparse graphs, respects lists + registered bound (run_cell), and the
+  // whole report — coloring, rounds, and the sparsify metrics — is
+  // bit-identical serial vs thread pool.
+  Rng rng(77);
+  ThreadPoolExecutor pool(4);
+  for (int t = 0; t < 4; ++t) {
+    const Graph g = gnm(60, 110 + rng.below(60), rng);
+    const Color k = static_cast<Color>(g.max_degree() + 1);
+    const ListAssignment lists = uniform_lists(g.num_vertices(), k);
+    for (const char* algo :
+         {"dplus1-sparsified", "deglist-sparsified", "list-sparsified"}) {
+      const ColoringReport serial =
+          solve_sparsified(algo, g, lists, {}, nullptr);
+      ASSERT_EQ(serial.status, SolveStatus::kColored) << algo;
+      expect_proper_list_coloring(g, *serial.coloring, lists);
+      EXPECT_LE(serial.colors_used, static_cast<Vertex>(k)) << algo;
+      EXPECT_TRUE(serial.metrics.has("sparsify_attempts")) << algo;
+      EXPECT_TRUE(serial.metrics.has("sparsify_fallback")) << algo;
+      EXPECT_GT(serial.metrics.get_int("sparsify_target", 0), 0) << algo;
+
+      const ColoringReport pooled =
+          solve_sparsified(algo, g, lists, {}, &pool);
+      EXPECT_EQ(*serial.coloring, *pooled.coloring) << algo;
+      EXPECT_EQ(serial.rounds, pooled.rounds) << algo;
+      EXPECT_EQ(serial.metrics.get_int("sparsify_attempts", -1),
+                pooled.metrics.get_int("sparsify_attempts", -2))
+          << algo;
+      EXPECT_EQ(serial.metrics.get_int("sparsify_fallback", -1),
+                pooled.metrics.get_int("sparsify_fallback", -2))
+          << algo;
+    }
+  }
+}
+
+TEST(Sparsify, FallbackPathStaysValidAndDeterministic) {
+  // Force failing attempts: on a complete graph a proper coloring needs
+  // all n colors, so 2-color samples (sparsify_c tiny) cannot work and
+  // the full-palette fallback must kick in — recorded in the metrics,
+  // still colored, still bit-identical across executors.
+  const Graph g = complete(12);
+  const ListAssignment lists = uniform_lists(g.num_vertices(), 12);
+  ParamBag params;
+  params.set_real("sparsify_c", 0.1);  // target clamps to 2 colors
+  params.set_int("sparsify_attempts", 2);
+  ThreadPoolExecutor pool(4);
+  for (const char* algo :
+       {"dplus1-sparsified", "deglist-sparsified", "list-sparsified"}) {
+    const ColoringReport serial =
+        solve_sparsified(algo, g, lists, params, nullptr);
+    ASSERT_EQ(serial.status, SolveStatus::kColored) << algo;
+    expect_proper_list_coloring(g, *serial.coloring, lists);
+    EXPECT_EQ(serial.metrics.get_int("sparsify_fallback", -1), 1) << algo;
+    EXPECT_EQ(serial.metrics.get_int("sparsify_attempts", -1), 2) << algo;
+    const ColoringReport pooled =
+        solve_sparsified(algo, g, lists, params, &pool);
+    EXPECT_EQ(*serial.coloring, *pooled.coloring) << algo;
+    EXPECT_EQ(serial.rounds, pooled.rounds) << algo;
+    EXPECT_EQ(pooled.metrics.get_int("sparsify_fallback", -1), 1) << algo;
+  }
+}
+
+TEST(Sparsify, ListSparsifiedFallbackProvesInfeasibility) {
+  // K_5 with 4-lists is infeasible; the sampled attempts cannot prove
+  // that (a sample hides colors), so the verdict must come from the
+  // full-list exact fallback — and be flagged as a fallback verdict.
+  const Graph g = complete(5);
+  const ListAssignment lists = uniform_lists(g.num_vertices(), 4);
+  const ColoringReport r =
+      solve_sparsified("list-sparsified", g, lists, {}, nullptr);
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(r.metrics.get_int("sparsify_fallback", -1), 1);
 }
 
 }  // namespace
